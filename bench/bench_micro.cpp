@@ -1,0 +1,154 @@
+// Microbenchmarks (google-benchmark): the hot paths of the pipeline —
+// packet serialize/parse, checksum, trie lookups, a full probe round-trip
+// through the simulated dataplane, and BGP route computation.
+#include <benchmark/benchmark.h>
+
+#include "analysis/scenario.hpp"
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+using namespace vp;
+
+namespace {
+
+const analysis::Scenario& shared_scenario() {
+  static const analysis::Scenario scenario{[] {
+    analysis::ScenarioConfig config = analysis::ScenarioConfig::from_env();
+    config.scale = 0.1;  // micro benches need a topology, not a big one
+    return config;
+  }()};
+  return scenario;
+}
+
+void BM_ChecksumPerByte(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng{1};
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChecksumPerByte)->Arg(48)->Arg(512)->Arg(4096);
+
+void BM_BuildEchoRequest(benchmark::State& state) {
+  net::ProbePayload payload;
+  payload.measurement_id = 7;
+  payload.original_target = net::Ipv4Address{1, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::build_echo_request(
+        net::Ipv4Address{192, 0, 2, 1}, payload.original_target, 1, 2,
+        payload));
+  }
+}
+BENCHMARK(BM_BuildEchoRequest);
+
+void BM_ParseReply(benchmark::State& state) {
+  net::ProbePayload payload;
+  payload.measurement_id = 7;
+  payload.original_target = net::Ipv4Address{1, 2, 3, 4};
+  const auto request = net::build_echo_request(
+      net::Ipv4Address{192, 0, 2, 1}, payload.original_target, 1, 2, payload);
+  const auto ip = net::Ipv4Header::parse(request.data);
+  const auto icmp = net::IcmpEcho::parse(
+      std::span<const std::uint8_t>{request.data}.subspan(
+          net::Ipv4Header::kSize));
+  const auto reply =
+      net::build_echo_reply(*ip, *icmp, payload.original_target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_reply(reply.data));
+  }
+}
+BENCHMARK(BM_ParseReply);
+
+void BM_TrieLookup(benchmark::State& state) {
+  const auto& topo = shared_scenario().topo();
+  util::Rng rng{2};
+  std::vector<net::Ipv4Address> addresses;
+  for (int i = 0; i < 1024; ++i) {
+    const auto& info =
+        topo.blocks()[rng.below(topo.block_count())];
+    addresses.push_back(info.block.address(1));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.route_lookup(addresses[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_TrieLookup);
+
+void BM_GroundTruthSiteLookup(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  static const bgp::RoutingTable routes =
+      scenario.route(scenario.broot());
+  util::Rng rng{3};
+  std::vector<net::Block24> blocks;
+  for (int i = 0; i < 1024; ++i)
+    blocks.push_back(
+        scenario.topo().blocks()[rng.below(scenario.topo().block_count())]
+            .block);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario.internet().ground_truth_site(
+        routes, blocks[i++ & 1023], 0));
+  }
+}
+BENCHMARK(BM_GroundTruthSiteLookup);
+
+void BM_ProbeRoundTrip(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  static const bgp::RoutingTable routes =
+      scenario.route(scenario.broot());
+  const auto& hitlist = scenario.hitlist();
+  std::size_t i = 0;
+  std::uint64_t replies = 0;
+  for (auto _ : state) {
+    const auto& entry = hitlist.entries()[i++ % hitlist.size()];
+    net::ProbePayload payload;
+    payload.measurement_id = 1;
+    payload.original_target = entry.target;
+    const auto probe = net::build_echo_request(
+        scenario.broot().measurement_address, entry.target, 1,
+        static_cast<std::uint16_t>(i), payload);
+    auto deliveries =
+        scenario.internet().probe(routes, probe.data, {}, 0);
+    replies += deliveries.size();
+    benchmark::DoNotOptimize(deliveries);
+  }
+  state.counters["replies_per_probe"] =
+      benchmark::Counter(static_cast<double>(replies),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ProbeRoundTrip);
+
+void BM_ComputeRoutes(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario.route(scenario.broot()));
+  }
+  state.counters["ases"] =
+      static_cast<double>(scenario.topo().as_count());
+}
+BENCHMARK(BM_ComputeRoutes)->Unit(benchmark::kMillisecond);
+
+void BM_FullMeasurementRound(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  static const bgp::RoutingTable routes =
+      scenario.route(scenario.broot());
+  core::ProbeConfig probe;
+  std::uint32_t round = 0;
+  for (auto _ : state) {
+    probe.measurement_id = 100 + round;
+    benchmark::DoNotOptimize(
+        scenario.verfploeter().run_round(routes, probe, round++));
+  }
+  state.counters["blocks"] =
+      static_cast<double>(scenario.hitlist().size());
+}
+BENCHMARK(BM_FullMeasurementRound)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

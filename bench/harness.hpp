@@ -1,0 +1,45 @@
+// Shared plumbing for the per-table / per-figure benchmark harnesses.
+//
+// Each bench binary rebuilds one table or figure from the paper: it wires
+// a Scenario, runs the relevant measurements, prints the paper-style rows,
+// and finishes with a "paper vs measured" shape check. Absolute numbers
+// differ (our substrate is a simulator, DESIGN.md §2); what must hold is
+// the *shape* — who wins, by roughly what factor, where crossovers fall.
+//
+// Environment knobs: VP_SCALE (default 1.0 = ~120k blocks), VP_SEED.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/scenario.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace vp::bench {
+
+inline analysis::ScenarioConfig config_from_env(double default_scale = 1.0) {
+  analysis::ScenarioConfig config = analysis::ScenarioConfig::from_env();
+  if (std::getenv("VP_SCALE") == nullptr) config.scale = default_scale;
+  return config;
+}
+
+inline void banner(const char* artifact, const char* title,
+                   const analysis::Scenario& scenario) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact, title);
+  std::printf("scenario: seed=%llu scale=%.2f (%zu ASes, %zu /24 blocks)\n",
+              static_cast<unsigned long long>(scenario.config().seed),
+              scenario.config().scale, scenario.topo().as_count(),
+              scenario.topo().block_count());
+  std::printf("==============================================================\n");
+}
+
+/// One "paper vs measured" shape-check line.
+inline void shape(const char* what, const std::string& paper,
+                  const std::string& measured, bool holds) {
+  std::printf("  [%s] %-52s paper: %-14s measured: %s\n",
+              holds ? "ok" : "!!", what, paper.c_str(), measured.c_str());
+}
+
+}  // namespace vp::bench

@@ -1,0 +1,321 @@
+#include <fstream>
+// vpctl — command-line driver for the Verfploeter library.
+//
+// Runs measurements against the simulated Internet and produces the same
+// artifacts an operator of the real system works with: catchment CSVs,
+// stability reports, load predictions, and site recommendations.
+//
+//   vpctl scan      [--deployment broot|tangled] [--prepend SITE=N]
+//                   [--out catchment.csv]
+//   vpctl campaign  [--deployment ...] [--rounds N] [--interval-min M]
+//   vpctl atlas     [--deployment ...]
+//   vpctl predict   [--catchment file.csv] [--date apr|may]
+//   vpctl recommend [--candidates N]
+//   vpctl export-load [--date apr|may] [--out load.csv]
+//
+// Global flags: --scale F (Internet size, default 0.4), --seed N.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "analysis/latency.hpp"
+#include "analysis/load_analysis.hpp"
+#include "analysis/scenario.hpp"
+#include "analysis/stability.hpp"
+#include "core/dataset_io.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+using namespace vp;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  long get_long(const std::string& key, long fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atol(it->second.c_str());
+  }
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) return std::nullopt;
+    const std::string key{arg.substr(2)};
+    if (i + 1 >= argc) return std::nullopt;
+    args.options[key] = argv[++i];
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: vpctl <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  scan         run one Verfploeter round, print the catchment split\n"
+      "  campaign     run a multi-round stability campaign (Figure 9 style)\n"
+      "  atlas        run a RIPE-Atlas-style campaign for comparison\n"
+      "  predict      predict per-site load from a catchment + query logs\n"
+      "  recommend    suggest new site locations from measured RTTs\n"
+      "  export-load  write the per-block query-log dataset as CSV\n"
+      "\n"
+      "common options:\n"
+      "  --scale F          Internet size multiplier (default 0.4 ~ 48k /24s)\n"
+      "  --seed N           simulation seed (default 42)\n"
+      "  --deployment NAME  broot (default) or tangled\n"
+      "scan options:\n"
+      "  --prepend SITE=N   AS-prepend the SITE announcement N times\n"
+      "  --out FILE         write the catchment as CSV\n"
+      "campaign options:\n"
+      "  --rounds N         number of rounds (default 16)\n"
+      "  --interval-min M   minutes between rounds (default 15)\n"
+      "predict options:\n"
+      "  --catchment FILE   reuse an exported catchment instead of scanning\n"
+      "  --date apr|may     which load dataset to weight with (default may)\n"
+      "recommend options:\n"
+      "  --candidates N     how many suggestions (default 5)\n"
+      "export-load options:\n"
+      "  --date apr|may     dataset date (default may)\n"
+      "  --out FILE         output path (default load.csv)\n");
+  return 2;
+}
+
+analysis::Scenario make_scenario(const Args& args) {
+  analysis::ScenarioConfig config;
+  config.scale = args.get_double("scale", 0.4);
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  std::printf("building simulated Internet (scale %.2f, seed %llu)...\n",
+              config.scale,
+              static_cast<unsigned long long>(config.seed));
+  return analysis::Scenario{config};
+}
+
+const anycast::Deployment& pick_deployment(const analysis::Scenario& scenario,
+                                           const Args& args) {
+  return args.get("deployment", "broot") == "tangled" ? scenario.tangled()
+                                                      : scenario.broot();
+}
+
+std::uint64_t load_date_seed(const Args& args) {
+  return args.get("date", "may") == "apr" ? 0x20170412ull : 0x20170515ull;
+}
+
+void print_catchment_summary(const anycast::Deployment& deployment,
+                             const core::RoundResult& round) {
+  std::printf("probed %s blocks, mapped %s (%s)\n",
+              util::with_commas(round.map.blocks_probed).c_str(),
+              util::with_commas(round.map.mapped_blocks()).c_str(),
+              util::percent(static_cast<double>(round.map.mapped_blocks()) /
+                            static_cast<double>(round.map.blocks_probed))
+                  .c_str());
+  util::Table table{{"site", "/24 blocks", "share"}, {util::Align::kLeft}};
+  const auto counts = round.map.per_site_counts(deployment.sites.size());
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    table.add_row(
+        {deployment.sites[s].code, util::with_commas(counts[s]),
+         util::percent(static_cast<double>(counts[s]) /
+                       static_cast<double>(round.map.mapped_blocks()))});
+  }
+  std::printf("%s", table.to_string().c_str());
+  const auto& cleaning = round.map.cleaning;
+  std::printf(
+      "cleaning: %s raw replies; dropped %s dup, %s unsolicited, %s late\n",
+      util::with_commas(cleaning.raw_replies).c_str(),
+      util::with_commas(cleaning.duplicates).c_str(),
+      util::with_commas(cleaning.unsolicited).c_str(),
+      util::with_commas(cleaning.late).c_str());
+}
+
+core::RoundResult run_scan(const analysis::Scenario& scenario,
+                           const anycast::Deployment& deployment,
+                           std::uint32_t round_index) {
+  const auto routes = scenario.route(deployment);
+  core::ProbeConfig probe;
+  probe.measurement_id = 9000 + round_index;
+  return scenario.verfploeter().run_round(routes, probe, round_index);
+}
+
+int cmd_scan(const Args& args) {
+  const auto scenario = make_scenario(args);
+  anycast::Deployment deployment = pick_deployment(scenario, args);
+  if (args.has("prepend")) {
+    const std::string spec = args.get("prepend", "");
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos) return usage();
+    deployment =
+        deployment.with_prepend(spec.substr(0, eq),
+                                std::atoi(spec.c_str() + eq + 1));
+    std::printf("prepending: %s\n", spec.c_str());
+  }
+  const auto round = run_scan(scenario, deployment, 0);
+  print_catchment_summary(deployment, round);
+  if (args.has("out")) {
+    const std::string path = args.get("out", "catchment.csv");
+    if (!core::save_catchment(path, round, deployment)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("catchment written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_campaign(const Args& args) {
+  const auto scenario = make_scenario(args);
+  const auto& deployment = pick_deployment(scenario, args);
+  const auto rounds = static_cast<std::uint32_t>(args.get_long("rounds", 16));
+  const double interval = args.get_double("interval-min", 15.0);
+  const auto routes = scenario.route(deployment);
+  analysis::StabilityAccumulator accumulator{scenario.topo()};
+  core::ProbeConfig probe;
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    probe.measurement_id = 100 + r;
+    accumulator.add_round(
+        scenario.verfploeter()
+            .run_round(routes, probe, r,
+                       util::SimTime::from_minutes(interval * r))
+            .map);
+  }
+  const auto report = accumulator.finish();
+  std::printf("campaign: %u rounds, %.0f min apart\n", rounds, interval);
+  std::printf("medians per round: stable %s, to-NR %s, from-NR %s, "
+              "flipped %s\n",
+              util::si_count(report.median_stable()).c_str(),
+              util::si_count(report.median_to_nr()).c_str(),
+              util::si_count(report.median_from_nr()).c_str(),
+              util::si_count(report.median_flipped()).c_str());
+  util::Table table{{"AS", "name", "flips"},
+                    {util::Align::kRight, util::Align::kLeft}};
+  for (std::size_t i = 0; i < report.by_as.size() && i < 5; ++i) {
+    table.add_row({std::to_string(report.by_as[i].asn), report.by_as[i].name,
+                   util::with_commas(report.by_as[i].flips)});
+  }
+  std::printf("top flipping ASes:\n%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_atlas(const Args& args) {
+  const auto scenario = make_scenario(args);
+  const auto& deployment = pick_deployment(scenario, args);
+  const auto routes = scenario.route(deployment);
+  const auto campaign =
+      scenario.atlas().measure(routes, scenario.internet().flips(), 0);
+  std::printf("%u VPs considered, %u responded\n", campaign.considered,
+              campaign.responding);
+  util::Table table{{"site", "VPs", "share"}, {util::Align::kLeft}};
+  const auto counts = campaign.per_site_counts(deployment.sites.size());
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    table.add_row({deployment.sites[s].code, util::with_commas(counts[s]),
+                   util::percent(campaign.fraction_to(
+                       static_cast<anycast::SiteId>(s)))});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  const auto scenario = make_scenario(args);
+  const auto& deployment = pick_deployment(scenario, args);
+  core::RoundResult round;
+  if (args.has("catchment")) {
+    auto loaded = core::load_catchment(args.get("catchment", ""), deployment);
+    if (!loaded) {
+      std::fprintf(stderr, "error: cannot read catchment CSV\n");
+      return 1;
+    }
+    round = std::move(*loaded);
+    std::printf("using imported catchment (%s blocks)\n",
+                util::with_commas(round.map.mapped_blocks()).c_str());
+  } else {
+    round = run_scan(scenario, deployment, 0);
+  }
+  const auto load = scenario.broot_load(load_date_seed(args));
+  const auto split = analysis::predict_load(load, round.map,
+                                            deployment.sites.size());
+  util::Table table{{"site", "q/day", "share"}, {util::Align::kLeft}};
+  for (std::size_t s = 0; s < deployment.sites.size(); ++s) {
+    table.add_row({deployment.sites[s].code,
+                   util::si_count(split.site_queries[s]),
+                   util::percent(split.fraction_to(
+                       static_cast<anycast::SiteId>(s)))});
+  }
+  table.add_row({"(unmapped)", util::si_count(split.unknown_queries), "-"});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_recommend(const Args& args) {
+  const auto scenario = make_scenario(args);
+  const auto& deployment = pick_deployment(scenario, args);
+  const auto round = run_scan(scenario, deployment, 0);
+  const auto load = scenario.broot_load(load_date_seed(args));
+  const auto report =
+      analysis::analyze_latency(scenario.topo(), round, load, deployment);
+  std::printf("current load-weighted mean RTT: %.1f ms\n",
+              report.load_weighted_mean_ms);
+  const auto candidates = analysis::recommend_sites(
+      scenario.topo(), round, load, deployment,
+      static_cast<std::size_t>(args.get_long("candidates", 5)));
+  util::Table table{{"#", "location", "blocks won", "mean saving"},
+                    {util::Align::kRight, util::Align::kLeft}};
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    table.add_row({std::to_string(i + 1), candidates[i].center_name,
+                   util::with_commas(candidates[i].blocks_won),
+                   util::fixed(candidates[i].mean_rtt_saving_ms, 1) + " ms"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_export_load(const Args& args) {
+  const auto scenario = make_scenario(args);
+  const auto load = scenario.broot_load(load_date_seed(args));
+  const std::string path = args.get("out", "load.csv");
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  core::write_load_csv(out, load);
+  std::printf("wrote %zu querying blocks (%s q/day) to %s\n",
+              load.blocks().size(),
+              util::si_count(load.total_daily_queries()).c_str(),
+              path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) return usage();
+  if (args->command == "scan") return cmd_scan(*args);
+  if (args->command == "campaign") return cmd_campaign(*args);
+  if (args->command == "atlas") return cmd_atlas(*args);
+  if (args->command == "predict") return cmd_predict(*args);
+  if (args->command == "recommend") return cmd_recommend(*args);
+  if (args->command == "export-load") return cmd_export_load(*args);
+  return usage();
+}

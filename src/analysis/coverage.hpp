@@ -1,0 +1,54 @@
+// Coverage comparison between Atlas and Verfploeter (paper §5.3, Table 4).
+#pragma once
+
+#include <cstdint>
+
+#include "atlas/atlas.hpp"
+#include "core/catchment.hpp"
+#include "topology/topology.hpp"
+
+namespace vp::analysis {
+
+/// Table 4: who sees how much of the Internet.
+struct CoverageReport {
+  // Atlas, in VPs.
+  std::uint64_t atlas_vps_considered = 0;
+  std::uint64_t atlas_vps_nonresponding = 0;
+  std::uint64_t atlas_vps_responding = 0;
+  // Atlas, in /24 blocks.
+  std::uint64_t atlas_blocks_considered = 0;
+  std::uint64_t atlas_blocks_responding = 0;
+  std::uint64_t atlas_blocks_geolocatable = 0;
+  // Verfploeter, in /24 blocks.
+  std::uint64_t verf_blocks_considered = 0;   // hitlist size
+  std::uint64_t verf_blocks_nonresponding = 0;
+  std::uint64_t verf_blocks_responding = 0;
+  std::uint64_t verf_blocks_no_location = 0;
+  std::uint64_t verf_blocks_geolocatable = 0;
+  // Overlap.
+  std::uint64_t atlas_unique_blocks = 0;  // Atlas sees, Verfploeter misses
+  std::uint64_t verf_unique_blocks = 0;   // Verfploeter sees, Atlas misses
+  std::uint64_t shared_blocks = 0;
+
+  /// Verfploeter responding blocks / Atlas responding blocks (the 430x).
+  double coverage_ratio() const {
+    return atlas_blocks_responding == 0
+               ? 0.0
+               : static_cast<double>(verf_blocks_responding) /
+                     static_cast<double>(atlas_blocks_responding);
+  }
+  /// Fraction of Atlas blocks also seen by Verfploeter (~77% in Table 4).
+  double atlas_overlap_fraction() const {
+    return atlas_blocks_responding == 0
+               ? 0.0
+               : static_cast<double>(shared_blocks) /
+                     static_cast<double>(atlas_blocks_responding);
+  }
+};
+
+CoverageReport compute_coverage(const topology::Topology& topo,
+                                const atlas::AtlasPlatform& platform,
+                                const atlas::Campaign& campaign,
+                                const core::CatchmentMap& verfploeter_map);
+
+}  // namespace vp::analysis

@@ -1,0 +1,131 @@
+#include "analysis/divisions.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+namespace vp::analysis {
+
+namespace {
+
+/// Per-AS (or per-prefix) site bitmask accumulated from a catchment map.
+template <typename Key>
+using SiteMaskMap = std::unordered_map<Key, std::uint32_t>;
+
+int mask_popcount(std::uint32_t mask) {
+  return std::popcount(mask);
+}
+
+}  // namespace
+
+DivisionsReport analyze_divisions(
+    const topology::Topology& topo, const core::CatchmentMap& map,
+    const std::unordered_set<std::uint32_t>& unstable_blocks) {
+  SiteMaskMap<std::uint32_t> sites_by_as;  // key: AsId
+  for (const auto& [block, site] : map.entries()) {
+    if (site < 0 || unstable_blocks.count(block.index())) continue;
+    const topology::BlockInfo* info = topo.block_info(block);
+    if (info == nullptr) continue;
+    sites_by_as[info->as_id] |= 1u << site;
+  }
+
+  DivisionsReport report;
+  report.ases_observed = sites_by_as.size();
+  std::unordered_map<int, std::vector<double>> prefixes_by_bucket;
+  for (const auto& [as_id, mask] : sites_by_as) {
+    const int sites = mask_popcount(mask);
+    if (sites > 1) ++report.ases_multi_site;
+    prefixes_by_bucket[sites].push_back(
+        static_cast<double>(topo.as_at(as_id).prefix_count));
+  }
+  std::vector<int> bucket_keys;
+  bucket_keys.reserve(prefixes_by_bucket.size());
+  for (const auto& [sites, values] : prefixes_by_bucket)
+    bucket_keys.push_back(sites);
+  std::sort(bucket_keys.begin(), bucket_keys.end());
+  for (const int sites : bucket_keys) {
+    const auto& values = prefixes_by_bucket[sites];
+    SiteCountBucket bucket;
+    bucket.sites_seen = sites;
+    bucket.as_count = values.size();
+    bucket.announced_prefixes = util::summarize(values);
+    for (const double v : values) bucket.mean_prefixes += v;
+    bucket.mean_prefixes /= static_cast<double>(values.size());
+    report.buckets.push_back(bucket);
+  }
+  return report;
+}
+
+std::vector<PrefixLengthRow> analyze_prefix_sites(
+    const topology::Topology& topo, const core::CatchmentMap& map,
+    const std::unordered_set<std::uint32_t>& unstable_blocks) {
+  // Mask of sites seen per announced prefix (index into topo prefixes).
+  SiteMaskMap<std::uint32_t> sites_by_prefix;
+  for (const auto& [block, site] : map.entries()) {
+    if (site < 0 || unstable_blocks.count(block.index())) continue;
+    const topology::BlockInfo* info = topo.block_info(block);
+    if (info == nullptr) continue;
+    sites_by_prefix[info->prefix_index] |= 1u << site;
+  }
+
+  // Group by prefix length.
+  struct Accumulator {
+    std::uint64_t count = 0;
+    std::array<std::uint64_t, 6> by_sites{};
+    std::uint64_t total_sites = 0;
+  };
+  std::unordered_map<std::uint8_t, Accumulator> by_length;
+  const auto prefixes = topo.announced_prefixes();
+  for (const auto& [prefix_index, mask] : sites_by_prefix) {
+    const std::uint8_t length = prefixes[prefix_index].prefix.length();
+    Accumulator& acc = by_length[length];
+    ++acc.count;
+    const int sites = std::min(mask_popcount(mask), 6);
+    ++acc.by_sites[static_cast<std::size_t>(sites - 1)];
+    acc.total_sites += static_cast<std::uint64_t>(mask_popcount(mask));
+  }
+
+  std::vector<PrefixLengthRow> rows;
+  rows.reserve(by_length.size());
+  for (const auto& [length, acc] : by_length) {
+    PrefixLengthRow row;
+    row.prefix_length = length;
+    row.prefix_count = acc.count;
+    for (std::size_t k = 0; k < row.fraction_by_sites.size(); ++k) {
+      row.fraction_by_sites[k] =
+          static_cast<double>(acc.by_sites[k]) /
+          static_cast<double>(acc.count);
+    }
+    row.mean_sites = static_cast<double>(acc.total_sites) /
+                     static_cast<double>(acc.count);
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const PrefixLengthRow& a, const PrefixLengthRow& b) {
+              return a.prefix_length < b.prefix_length;
+            });
+  return rows;
+}
+
+AddressSpaceShare multi_vp_address_share(
+    const topology::Topology& topo, const core::CatchmentMap& map,
+    const std::unordered_set<std::uint32_t>& unstable_blocks) {
+  SiteMaskMap<std::uint32_t> sites_by_prefix;
+  std::unordered_map<std::uint32_t, std::uint64_t> blocks_by_prefix;
+  for (const auto& [block, site] : map.entries()) {
+    if (site < 0 || unstable_blocks.count(block.index())) continue;
+    const topology::BlockInfo* info = topo.block_info(block);
+    if (info == nullptr) continue;
+    sites_by_prefix[info->prefix_index] |= 1u << site;
+    ++blocks_by_prefix[info->prefix_index];
+  }
+  AddressSpaceShare share;
+  for (const auto& [prefix_index, mask] : sites_by_prefix) {
+    const std::uint64_t blocks = blocks_by_prefix[prefix_index];
+    share.observed_blocks += blocks;
+    if (mask_popcount(mask) > 1) share.multi_site_blocks += blocks;
+  }
+  return share;
+}
+
+}  // namespace vp::analysis

@@ -1,0 +1,76 @@
+// Intra-AS catchment divisions (paper §6.2, Figures 7-8): do anycast
+// catchments align with AS boundaries? (Mostly not, for large ASes.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/catchment.hpp"
+#include "topology/topology.hpp"
+#include "util/stats.hpp"
+
+namespace vp::analysis {
+
+/// Figure 7: per number-of-sites bucket, the distribution of announced
+/// prefix counts of the ASes in that bucket.
+struct SiteCountBucket {
+  int sites_seen = 0;
+  std::uint64_t as_count = 0;
+  util::PercentileSummary announced_prefixes;
+  double mean_prefixes = 0.0;
+};
+
+struct DivisionsReport {
+  std::vector<SiteCountBucket> buckets;       // sites_seen = 1, 2, ...
+  std::uint64_t ases_observed = 0;            // ASes with >= 1 mapped VP
+  std::uint64_t ases_multi_site = 0;          // seen at > 1 site
+  /// Fraction of observed ASes that are split across sites (~12.7% in
+  /// the paper for Tangled).
+  double multi_site_fraction() const {
+    return ases_observed ? static_cast<double>(ases_multi_site) /
+                               static_cast<double>(ases_observed)
+                         : 0.0;
+  }
+};
+
+/// Computes Figure 7 from one catchment map, excluding blocks known to be
+/// unstable (the paper removes flipping VPs first; without the exclusion
+/// divisions are over-counted by ~2%).
+DivisionsReport analyze_divisions(
+    const topology::Topology& topo, const core::CatchmentMap& map,
+    const std::unordered_set<std::uint32_t>& unstable_blocks = {});
+
+/// Figure 8: per announced-prefix-length row, the distribution of how
+/// many sites a prefix's blocks reach. fraction_by_sites[k-1] = fraction
+/// of prefixes of this length seeing exactly k sites (k capped at 6+).
+struct PrefixLengthRow {
+  std::uint8_t prefix_length = 0;
+  std::uint64_t prefix_count = 0;       // prefixes of this length observed
+  std::array<double, 6> fraction_by_sites{};  // 1..5 sites, 6 = "6 or more"
+  double mean_sites = 0.0;
+};
+
+std::vector<PrefixLengthRow> analyze_prefix_sites(
+    const topology::Topology& topo, const core::CatchmentMap& map,
+    const std::unordered_set<std::uint32_t>& unstable_blocks = {});
+
+/// Share of the measured address space needing multiple VPs (the paper's
+/// "multiple VPs are required in prefixes that account for approximately
+/// 38% of the measured address space").
+struct AddressSpaceShare {
+  std::uint64_t multi_site_blocks = 0;
+  std::uint64_t observed_blocks = 0;
+  double fraction() const {
+    return observed_blocks ? static_cast<double>(multi_site_blocks) /
+                                 static_cast<double>(observed_blocks)
+                           : 0.0;
+  }
+};
+
+AddressSpaceShare multi_vp_address_share(
+    const topology::Topology& topo, const core::CatchmentMap& map,
+    const std::unordered_set<std::uint32_t>& unstable_blocks = {});
+
+}  // namespace vp::analysis

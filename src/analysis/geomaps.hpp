@@ -1,0 +1,46 @@
+// Geographic catchment/load maps (paper Figures 2-4), rendered as
+// 2-degree-binned data plus continent-level summaries — the textual
+// equivalent of the paper's world maps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atlas/atlas.hpp"
+#include "core/catchment.hpp"
+#include "dnsload/load_model.hpp"
+#include "geo/geodb.hpp"
+#include "topology/topology.hpp"
+
+namespace vp::analysis {
+
+/// Figure 2b/3b: bins Verfploeter-mapped blocks by location; categories
+/// are site ids, one extra for "unknown site".
+geo::GeoBinner bin_catchment(const topology::Topology& topo,
+                             const core::CatchmentMap& map,
+                             std::size_t site_count);
+
+/// Figure 2a/3a: bins responding Atlas VPs by location.
+geo::GeoBinner bin_atlas(const atlas::AtlasPlatform& platform,
+                         const atlas::Campaign& campaign,
+                         std::size_t site_count);
+
+/// Figure 4a: bins *load* (q/s) by location and site; unmapped querying
+/// blocks land in the last category (the paper's red "UNK" slices).
+geo::GeoBinner bin_load(const topology::Topology& topo,
+                        const dnsload::LoadModel& load,
+                        const core::CatchmentMap& map,
+                        std::size_t site_count);
+
+/// Figure 4b: bins load with no catchment attribution (single category) —
+/// the .nl operator's view of where its clients are.
+geo::GeoBinner bin_load_plain(const topology::Topology& topo,
+                              const dnsload::LoadModel& load);
+
+/// Renders a binner as two tables: per-continent totals per category, and
+/// the `top_bins` heaviest 2-degree bins with their dominant category.
+std::string render_map_summary(const geo::GeoBinner& binner,
+                               const std::vector<std::string>& categories,
+                               std::size_t top_bins = 12);
+
+}  // namespace vp::analysis

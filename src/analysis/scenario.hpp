@@ -1,0 +1,79 @@
+// Scenario: one-stop wiring of the full simulation stack, shared by the
+// benchmark harnesses, examples, and integration tests.
+//
+// Builds the simulated Internet once, then hands out the pieces every
+// experiment needs: the B-Root and Tangled deployments (Table 3), routing
+// epochs for the paper's two measurement dates (April/May 2017 — same
+// topology, different tie-break salt, §5.5), the Verfploeter instance, the
+// Atlas platform, and the load models (B-Root-like and .nl-like).
+//
+// Scale: the paper probes 6.4M blocks; the default scenario builds ~120k
+// and keeps every ratio (Atlas VP share, responsiveness, load skew) so the
+// paper's *shapes* reproduce. Set VP_SCALE=4 (etc.) in the environment to
+// run larger.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "anycast/deployment.hpp"
+#include "atlas/atlas.hpp"
+#include "bgp/routing.hpp"
+#include "core/verfploeter.hpp"
+#include "dnsload/load_model.hpp"
+#include "hitlist/hitlist.hpp"
+#include "sim/internet.hpp"
+#include "topology/generator.hpp"
+
+namespace vp::analysis {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  double scale = 1.0;  // multiplies the default 120k-block Internet
+  /// Reads VP_SCALE and VP_SEED from the environment (bench knobs).
+  static ScenarioConfig from_env();
+};
+
+/// Routing-epoch salts for the paper's two measurement dates.
+inline constexpr std::uint64_t kAprilEpoch = 0x20170421;
+inline constexpr std::uint64_t kMayEpoch = 0x20170515;
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config = {});
+
+  const ScenarioConfig& config() const { return config_; }
+  const topology::Topology& topo() const { return *topo_; }
+  const sim::InternetSim& internet() const { return *internet_; }
+  const hitlist::Hitlist& hitlist() const { return *hitlist_; }
+  const core::Verfploeter& verfploeter() const { return *verfploeter_; }
+  const atlas::AtlasPlatform& atlas() const { return *atlas_; }
+  /// The small Atlas deployment of the April B-Root measurements
+  /// (Table 6: 967 VPs vs 9,682 in May).
+  const atlas::AtlasPlatform& atlas_small() const { return *atlas_small_; }
+
+  const anycast::Deployment& broot() const { return broot_; }
+  const anycast::Deployment& tangled() const { return tangled_; }
+
+  /// Computes routes for a deployment under a routing epoch. The
+  /// deployment reference must outlive the returned table.
+  bgp::RoutingTable route(const anycast::Deployment& deployment,
+                          std::uint64_t epoch_salt = kMayEpoch) const;
+
+  /// B-Root-like load for a "date" (seed); .nl-like load for Figure 4b.
+  dnsload::LoadModel broot_load(std::uint64_t date_seed) const;
+  dnsload::LoadModel nl_load() const;
+
+ private:
+  ScenarioConfig config_;
+  std::unique_ptr<topology::Topology> topo_;
+  std::unique_ptr<sim::InternetSim> internet_;
+  std::unique_ptr<hitlist::Hitlist> hitlist_;
+  std::unique_ptr<core::Verfploeter> verfploeter_;
+  std::unique_ptr<atlas::AtlasPlatform> atlas_;
+  std::unique_ptr<atlas::AtlasPlatform> atlas_small_;
+  anycast::Deployment broot_;
+  anycast::Deployment tangled_;
+};
+
+}  // namespace vp::analysis

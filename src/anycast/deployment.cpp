@@ -1,0 +1,81 @@
+#include "anycast/deployment.hpp"
+
+#include <algorithm>
+
+#include "topology/generator.hpp"
+
+namespace vp::anycast {
+
+std::size_t Deployment::active_site_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(sites.begin(), sites.end(), [](const AnycastSite& s) {
+        return s.enabled && !s.hidden;
+      }));
+}
+
+std::optional<SiteId> Deployment::site_by_code(std::string_view code) const {
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    if (sites[i].code == code) return static_cast<SiteId>(i);
+  return std::nullopt;
+}
+
+Deployment Deployment::with_prepend(std::string_view site_code,
+                                    int prepend) const {
+  Deployment copy = *this;
+  for (AnycastSite& site : copy.sites)
+    if (site.code == site_code) site.prepend = prepend;
+  return copy;
+}
+
+namespace {
+
+geo::LatLon center_location(std::string_view name) {
+  return geo::world_centers()[topology::center_by_name(name)].location;
+}
+
+}  // namespace
+
+Deployment make_broot(const topology::Topology&) {
+  Deployment d;
+  d.name = "B-Root";
+  // B-Root's real service prefix; safely outside the generated space.
+  d.service_prefix = *net::Prefix::parse("192.228.79.0/24");
+  d.measurement_address = *net::Ipv4Address::parse("192.228.79.77");
+  d.origin_asn = topology::AsNumber{394353};
+  d.sites = {
+      AnycastSite{"LAX", topology::AsNumber{226},
+                  center_location("Los Angeles")},
+      AnycastSite{"MIA", topology::AsNumber{20080},
+                  center_location("Miami")},
+  };
+  return d;
+}
+
+Deployment make_tangled(const topology::Topology&) {
+  Deployment d;
+  d.name = "Tangled";
+  d.service_prefix = *net::Prefix::parse("145.100.118.0/24");
+  d.measurement_address = *net::Ipv4Address::parse("145.100.118.1");
+  d.origin_asn = topology::AsNumber{1149};
+  d.sites = {
+      AnycastSite{"SYD", topology::AsNumber{20473},
+                  center_location("Sydney")},
+      AnycastSite{"CDG", topology::AsNumber{20473},
+                  center_location("Paris")},
+      AnycastSite{"HND", topology::AsNumber{2500}, center_location("Tokyo")},
+      AnycastSite{"ENS", topology::AsNumber{1103},
+                  center_location("Enschede")},
+      AnycastSite{"LHR", topology::AsNumber{20473},
+                  center_location("London")},
+      AnycastSite{"MIA", topology::AsNumber{20080}, center_location("Miami")},
+      AnycastSite{"IAD", topology::AsNumber{1972},
+                  center_location("Washington")},
+      AnycastSite{"GRU", topology::AsNumber{1251},
+                  center_location("Sao Paulo"), 0, true, /*hidden=*/true},
+      AnycastSite{"CPH", topology::AsNumber{39839},
+                  center_location("Copenhagen")},
+  };
+  return d;
+}
+
+}  // namespace vp::anycast

@@ -1,0 +1,62 @@
+// Anycast deployment descriptions: the service prefix, and the set of
+// sites (each attached to an upstream AS from the simulated topology,
+// optionally AS-path prepending its announcement — §6.1).
+//
+// Presets mirror the paper's Table 3: B-Root (LAX via AS226, MIA via
+// AS20080/AMPATH) and the nine-site Tangled testbed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/world.hpp"
+#include "net/ipv4.hpp"
+#include "topology/as_node.hpp"
+#include "topology/topology.hpp"
+
+namespace vp::anycast {
+
+/// Index of a site within a deployment. -1 / kUnknownSite means "catchment
+/// unknown" (the UNK bucket in the paper's figures).
+using SiteId = std::int8_t;
+inline constexpr SiteId kUnknownSite = -1;
+
+/// One anycast site.
+struct AnycastSite {
+  std::string code;              // e.g. "LAX"
+  topology::AsNumber upstream;   // Table 3 upstream AS
+  geo::LatLon location;
+  int prepend = 0;   // times the origin AS is prepended at this site
+  bool enabled = true;
+  /// True for sites whose announcement is not visible in BGP (the paper's
+  /// Sao Paulo site routes via the same link as Miami, hiding its
+  /// announcement — §4.2 Limitations).
+  bool hidden = false;
+};
+
+/// A deployment: service prefix plus its sites.
+struct Deployment {
+  std::string name;
+  net::Prefix service_prefix;
+  net::Ipv4Address measurement_address;  // within service_prefix, §3.1
+  topology::AsNumber origin_asn;
+  std::vector<AnycastSite> sites;
+
+  std::size_t active_site_count() const;
+  /// Site index by code; nullopt if absent.
+  std::optional<SiteId> site_by_code(std::string_view code) const;
+
+  /// Returns a copy with per-site prepending set; unknown codes ignored.
+  Deployment with_prepend(std::string_view site_code, int prepend) const;
+};
+
+/// B-Root after its May 2017 anycast deployment: LAX + MIA (Table 3).
+Deployment make_broot(const topology::Topology& topo);
+
+/// The nine-site Tangled testbed (Table 3). The Sao Paulo site is created
+/// hidden (its announcement is masked by Miami's shared link).
+Deployment make_tangled(const topology::Topology& topo);
+
+}  // namespace vp::anycast

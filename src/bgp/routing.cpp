@@ -1,0 +1,392 @@
+#include "bgp/routing.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace vp::bgp {
+
+using topology::AsNode;
+using topology::Link;
+using topology::Relationship;
+using topology::Topology;
+
+namespace {
+
+constexpr std::uint8_t kMaxPathLen = 250;
+constexpr std::size_t kMaxCandidates = 12;  // tied-route retention cap
+
+/// BGP decision order: relationship class (local-pref), then per-link
+/// policy bonus (higher wins — local-pref beats path length, as in real
+/// BGP), then AS-path length. Returns <0 if a better, 0 tied, >0 worse.
+int compare_route(const CandidateRoute& a, const CandidateRoute& b) {
+  if (a.cls != b.cls) return static_cast<int>(a.cls) - static_cast<int>(b.cls);
+  if (a.local_pref_bonus != b.local_pref_bonus)
+    return b.local_pref_bonus - a.local_pref_bonus;
+  return static_cast<int>(a.path_len) - static_cast<int>(b.path_len);
+}
+
+/// Propagation engine state.
+class Propagation {
+ public:
+  Propagation(const Topology& topo, const anycast::Deployment& deployment,
+              const RoutingOptions& options)
+      : topo_(topo),
+        deployment_(deployment),
+        options_(options),
+        states_(topo.as_count()) {}
+
+  std::vector<AsRoutingState> run() {
+    inject_origin_routes();
+    propagate_up();
+    propagate_peers();
+    propagate_down();
+    for (auto& state : states_) pick_canonical(state);
+    return std::move(states_);
+  }
+
+ private:
+  std::uint64_t tiebreak(AsId receiver, AsId sender, SiteId site) const {
+    // Salted so a different epoch (salt) re-rolls which tied candidate an
+    // AS canonically prefers — the §5.5 routing shift.
+    return util::hash_combine(
+        options_.tiebreak_salt,
+        util::hash_combine(
+            util::hash_combine(topo_.as_at(receiver).asn.value,
+                               topo_.as_at(sender).asn.value),
+            static_cast<std::uint64_t>(site) + 1));
+  }
+
+  /// Offers a candidate to `receiver`; returns true if the receiver's best
+  /// (class, length) improved (not merely tied).
+  bool offer(AsId receiver, CandidateRoute cand) {
+    auto& state = states_[receiver];
+    if (state.candidates.empty()) {
+      state.candidates.push_back(cand);
+      return true;
+    }
+    const auto& best = state.candidates.front();
+    const int cmp = compare_route(cand, best);
+    if (cmp < 0) {
+      state.candidates.clear();
+      state.candidates.push_back(cand);
+      return true;
+    }
+    if (cmp == 0 && state.candidates.size() < kMaxCandidates) {
+      // Drop exact duplicates (same neighbor offering the same site).
+      for (const auto& existing : state.candidates) {
+        if (existing.egress_neighbor == cand.egress_neighbor &&
+            existing.site == cand.site) {
+          return false;
+        }
+      }
+      state.candidates.push_back(cand);
+    }
+    return false;
+  }
+
+  void pick_canonical(AsRoutingState& state) const {
+    std::uint32_t best_index = 0;
+    for (std::uint32_t i = 1; i < state.candidates.size(); ++i) {
+      if (state.candidates[i].tiebreak <
+          state.candidates[best_index].tiebreak) {
+        best_index = i;
+      }
+    }
+    state.canonical = best_index;
+  }
+
+  /// The origin AS announces the prefix to each enabled site's upstream.
+  /// The upstream hears a customer route whose AS path already contains
+  /// the origin (1 hop) plus any prepending configured at that site.
+  void inject_origin_routes() {
+    for (std::size_t s = 0; s < deployment_.sites.size(); ++s) {
+      const auto& site = deployment_.sites[s];
+      if (!site.enabled || site.hidden) continue;
+      const AsId upstream = topo_.find_as(site.upstream);
+      assert(upstream != topology::kNoAs &&
+             "deployment upstream AS missing from topology");
+      const AsNode& node = topo_.as_at(upstream);
+      // Attach the site at the upstream's PoP nearest the site location.
+      std::uint16_t pop = 0;
+      double best = std::numeric_limits<double>::max();
+      for (std::size_t p = 0; p < node.pops.size(); ++p) {
+        const double d =
+            geo::distance_km(node.pops[p].location, site.location);
+        if (d < best) {
+          best = d;
+          pop = static_cast<std::uint16_t>(p);
+        }
+      }
+      CandidateRoute cand;
+      cand.site = static_cast<SiteId>(s);
+      cand.path_len = static_cast<std::uint8_t>(1 + site.prepend);
+      cand.cls = RouteClass::kCustomer;
+      cand.egress_neighbor = topology::kNoAs;  // directly attached service
+      cand.egress_pop = pop;
+      cand.tiebreak = tiebreak(upstream, upstream, cand.site);
+      offer(upstream, cand);
+    }
+  }
+
+  /// Sends `sender`'s route to one neighbor as class `cls`. What a real
+  /// multi-PoP network advertises at an interconnect is the route *its
+  /// routers at that PoP* selected (hot-potato), so among equal-best
+  /// candidates we pick the one whose egress is nearest the sender-side
+  /// attachment PoP of this link. This is how catchment diversity at tied
+  /// transits propagates into their customer cones (§6.2).
+  /// Returns whether the receiver's best improved.
+  bool advertise(AsId sender, const Link& link, RouteClass cls) {
+    const auto& state = states_[sender];
+    if (!state.reachable()) return false;
+    const AsNode& sender_node = topo_.as_at(sender);
+    const geo::LatLon here = sender_node.pops[link.local_pop].location;
+    const CandidateRoute* chosen = nullptr;
+    double best_distance = std::numeric_limits<double>::max();
+    std::uint32_t tied_count = 0;
+    for (const CandidateRoute& candidate : state.candidates) {
+      if (compare_route(candidate, state.candidates.front()) != 0) continue;
+      ++tied_count;
+      const double d = geo::distance_km(
+          here, sender_node.pops[candidate.egress_pop].location);
+      const bool closer =
+          d < best_distance - 1e-9 ||
+          (std::abs(d - best_distance) <= 1e-9 && chosen != nullptr &&
+           candidate.tiebreak < chosen->tiebreak);
+      if (chosen == nullptr || closer) {
+        chosen = &candidate;
+        best_distance = d;
+      }
+    }
+    // Epoch jitter: a small fraction of tied decisions deviates from
+    // hot-potato this epoch (IGP re-weighting, maintenance, TE). This is
+    // what shifts whole customer cones between measurement dates (§5.5).
+    if (tied_count > 1) {
+      const std::uint64_t jitter = util::hash_combine(
+          options_.tiebreak_salt,
+          util::hash_combine(topo_.as_at(sender).asn.value,
+                             topo_.as_at(link.neighbor).asn.value));
+      if (static_cast<double>(jitter >> 11) * 0x1.0p-53 <
+          options_.epoch_jitter_rate) {
+        std::uint32_t pick = static_cast<std::uint32_t>(
+            util::mix64(jitter) % tied_count);
+        for (const CandidateRoute& candidate : state.candidates) {
+          if (compare_route(candidate, state.candidates.front()) != 0)
+            continue;
+          if (pick-- == 0) {
+            chosen = &candidate;
+            break;
+          }
+        }
+      }
+    }
+    CandidateRoute cand;
+    cand.site = chosen->site;
+    cand.path_len = static_cast<std::uint8_t>(
+        std::min<int>(chosen->path_len + 1, kMaxPathLen));
+    cand.cls = cls;
+    // The receiver's policy bonus for routes learned over this link.
+    for (const Link& back : topo_.as_at(link.neighbor).links) {
+      if (back.neighbor == sender) {
+        cand.local_pref_bonus = back.local_pref_bonus;
+        break;
+      }
+    }
+    cand.egress_neighbor = sender;
+    cand.egress_pop = link.remote_pop;  // receiver-local PoP of this link
+    cand.tiebreak = tiebreak(link.neighbor, sender, cand.site);
+    return offer(link.neighbor, cand);
+  }
+
+  /// Stage 1: customer routes climb provider edges, BFS by path length so
+  /// all equal-length ties are collected before an AS advertises.
+  void propagate_up() {
+    std::vector<std::vector<AsId>> frontier(kMaxPathLen + 2);
+    std::vector<bool> advertised(topo_.as_count(), false);
+    for (AsId as = 0; as < topo_.as_count(); ++as) {
+      if (states_[as].reachable())
+        frontier[states_[as].best().path_len].push_back(as);
+    }
+    for (std::uint8_t len = 0; len <= kMaxPathLen; ++len) {
+      for (std::size_t i = 0; i < frontier[len].size(); ++i) {
+        const AsId as = frontier[len][i];
+        if (advertised[as]) continue;
+        const auto& state = states_[as];
+        if (!state.reachable() ||
+            state.candidates.front().cls != RouteClass::kCustomer ||
+            state.candidates.front().path_len != len) {
+          continue;  // superseded or not a customer route
+        }
+        advertised[as] = true;
+        for (const Link& link : topo_.as_at(as).links) {
+          if (link.rel != Relationship::kProvider) continue;  // only up
+          if (advertise(as, link, RouteClass::kCustomer)) {
+            frontier[std::min<std::size_t>(len + 1, kMaxPathLen + 1)]
+                .push_back(link.neighbor);
+          } else if (!advertised[link.neighbor]) {
+            // A tie was possibly added; ensure the neighbor is queued.
+            const auto& ns = states_[link.neighbor];
+            if (ns.reachable() &&
+                ns.candidates.front().cls == RouteClass::kCustomer) {
+              frontier[ns.candidates.front().path_len].push_back(
+                  link.neighbor);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Stage 2: every AS holding a customer route offers it to its peers.
+  /// Peer routes are not re-exported to other peers or providers.
+  void propagate_peers() {
+    std::vector<AsId> holders;
+    for (AsId as = 0; as < topo_.as_count(); ++as) {
+      const auto& state = states_[as];
+      if (state.reachable() &&
+          state.candidates.front().cls == RouteClass::kCustomer) {
+        holders.push_back(as);
+      }
+    }
+    for (const AsId as : holders) {
+      for (const Link& link : topo_.as_at(as).links) {
+        if (link.rel == Relationship::kPeer)
+          advertise(as, link, RouteClass::kPeer);
+      }
+    }
+  }
+
+  /// Stage 3: routes descend customer edges, BFS by resulting length.
+  void propagate_down() {
+    std::vector<std::vector<AsId>> frontier(
+        static_cast<std::size_t>(kMaxPathLen) + 2);
+    std::vector<bool> advertised(topo_.as_count(), false);
+    for (AsId as = 0; as < topo_.as_count(); ++as) {
+      if (states_[as].reachable())
+        frontier[states_[as].best().path_len].push_back(as);
+    }
+    for (std::size_t len = 0; len <= kMaxPathLen; ++len) {
+      for (std::size_t i = 0; i < frontier[len].size(); ++i) {
+        const AsId as = frontier[len][i];
+        if (advertised[as]) continue;
+        const auto& state = states_[as];
+        if (!state.reachable() || state.candidates.front().path_len != len)
+          continue;  // superseded by a shorter route; re-queued elsewhere
+        advertised[as] = true;
+        for (const Link& link : topo_.as_at(as).links) {
+          if (link.rel != Relationship::kCustomer) continue;  // only down
+          if (advertise(as, link, RouteClass::kProvider)) {
+            frontier[std::min<std::size_t>(len + 1, kMaxPathLen + 1)]
+                .push_back(link.neighbor);
+          }
+        }
+      }
+    }
+  }
+
+  const Topology& topo_;
+  const anycast::Deployment& deployment_;
+  RoutingOptions options_;
+  std::vector<AsRoutingState> states_;
+};
+
+}  // namespace
+
+bool AsRoutingState::multi_site() const {
+  if (candidates.size() < 2) return false;
+  const SiteId first = candidates.front().site;
+  return std::any_of(
+      candidates.begin() + 1, candidates.end(),
+      [first](const CandidateRoute& c) { return c.site != first; });
+}
+
+RoutingTable::RoutingTable(const Topology& topo,
+                           const anycast::Deployment& deployment,
+                           std::vector<AsRoutingState> states,
+                           std::uint64_t epoch_salt)
+    : topo_(&topo),
+      deployment_(&deployment),
+      epoch_salt_(epoch_salt),
+      states_(std::move(states)) {
+  // Hot-potato: each PoP selects, among the tied candidates, the one whose
+  // egress attachment is geographically closest (§6.2 — "routing policies
+  // like hot-potato routing are a likely cause for these divisions").
+  pop_offsets_.resize(topo.as_count() + 1, 0);
+  for (AsId as = 0; as < topo.as_count(); ++as) {
+    pop_offsets_[as + 1] =
+        pop_offsets_[as] +
+        static_cast<std::uint32_t>(topo.as_at(as).pops.size());
+  }
+  pop_sites_.assign(pop_offsets_.back(), anycast::kUnknownSite);
+  for (AsId as = 0; as < topo.as_count(); ++as) {
+    const AsRoutingState& state = states_[as];
+    if (!state.reachable()) continue;
+    const AsNode& node = topo.as_at(as);
+    for (std::size_t p = 0; p < node.pops.size(); ++p) {
+      const CandidateRoute* chosen = &state.best();
+      if (state.candidates.size() > 1) {
+        double best_distance = std::numeric_limits<double>::max();
+        std::uint64_t best_tiebreak = 0;
+        for (const CandidateRoute& cand : state.candidates) {
+          const double d = geo::distance_km(
+              node.pops[p].location, node.pops[cand.egress_pop].location);
+          if (d < best_distance - 1e-9 ||
+              (std::abs(d - best_distance) <= 1e-9 &&
+               cand.tiebreak < best_tiebreak)) {
+            best_distance = d;
+            best_tiebreak = cand.tiebreak;
+            chosen = &cand;
+          }
+        }
+      }
+      pop_sites_[pop_offsets_[as] + p] = chosen->site;
+    }
+  }
+}
+
+SiteId RoutingTable::site_for_block(net::Block24 block) const {
+  const topology::BlockInfo* info = topo_->block_info(block);
+  if (info == nullptr) return anycast::kUnknownSite;
+  const AsNode& node = topo_->as_at(info->as_id);
+  const AsRoutingState& state = states_[info->as_id];
+  if (node.multipath && state.multi_site()) {
+    // Flow-hash load balancing: each block stably picks one of the tied
+    // routes. Stable across rounds (same hash), so this creates lasting
+    // intra-AS divisions, not flapping — but the hash seed drifts across
+    // routing epochs (router restarts, ECMP rehash), which is part of the
+    // paper's April-to-May catchment shift (section 5.5).
+    const std::uint64_t h = util::hash_combine(
+        util::hash_combine(util::mix64(0x6d70617468), epoch_salt_),
+        block.index());
+    return state.candidates[h % state.candidates.size()].site;
+  }
+  return site_for_pop(info->as_id, info->pop);
+}
+
+std::size_t RoutingTable::distinct_sites(AsId as) const {
+  const AsNode& node = topo_->as_at(as);
+  std::uint32_t mask = 0;
+  for (std::size_t p = 0; p < node.pops.size(); ++p) {
+    const SiteId site = site_for_pop(as, static_cast<std::uint16_t>(p));
+    if (site >= 0) mask |= 1u << site;
+  }
+  if (node.multipath && states_[as].multi_site()) {
+    for (const CandidateRoute& cand : states_[as].candidates)
+      if (cand.site >= 0) mask |= 1u << cand.site;
+  }
+  return static_cast<std::size_t>(std::popcount(mask));
+}
+
+RoutingTable compute_routes(const Topology& topo,
+                            const anycast::Deployment& deployment,
+                            const RoutingOptions& options) {
+  Propagation propagation(topo, deployment, options);
+  return RoutingTable{topo, deployment, propagation.run(),
+                      options.tiebreak_salt};
+}
+
+}  // namespace vp::bgp

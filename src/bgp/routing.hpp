@@ -1,0 +1,120 @@
+// Gao-Rexford policy routing over the simulated topology.
+//
+// This computes, for every (AS, PoP), which anycast site BGP selects —
+// the simulation's *ground truth* catchment. Verfploeter never reads this
+// table (paper §3.1: "we do not model BGP routing ... we measure actual
+// deployment"); the measurement pipeline discovers catchments purely from
+// which collector receives each reply, and tests validate the measured map
+// against this ground truth.
+//
+// Model:
+//  * Valley-free export (Gao-Rexford): customer routes are exported to
+//    everyone; peer/provider routes only to customers.
+//  * Selection: local-pref by relationship (customer > peer > provider),
+//    then shortest AS path (site prepending counts, §6.1), then a
+//    deterministic tie-break hash (salted, so distinct "routing epochs"
+//    can be generated — the paper's April vs May shift, §5.5).
+//  * Equal-best candidates are retained per AS; multi-PoP ASes resolve
+//    them per-PoP by hot-potato (nearest egress), producing the intra-AS
+//    catchment divisions of §6.2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "anycast/deployment.hpp"
+#include "topology/topology.hpp"
+
+namespace vp::bgp {
+
+using anycast::SiteId;
+using topology::AsId;
+
+/// Preference class of a route by the relationship it was learned over.
+/// Order matters: lower value = preferred (BGP local-pref convention).
+enum class RouteClass : std::uint8_t {
+  kCustomer = 0,
+  kPeer = 1,
+  kProvider = 2,
+  kNone = 3,
+};
+
+/// One candidate best route at an AS.
+struct CandidateRoute {
+  SiteId site = anycast::kUnknownSite;
+  std::uint8_t path_len = 0;  // AS hops from the origin, incl. prepending
+  RouteClass cls = RouteClass::kNone;
+  std::int8_t local_pref_bonus = 0;  // per-link policy boost (see Link)
+  AsId egress_neighbor = topology::kNoAs;
+  std::uint16_t egress_pop = 0;  // local PoP where the route was learned
+  std::uint64_t tiebreak = 0;    // deterministic; lowest wins
+};
+
+/// Routing state of one AS: all equal-best candidates plus the canonical
+/// (advertised) choice among them.
+struct AsRoutingState {
+  std::vector<CandidateRoute> candidates;
+  std::uint32_t canonical = 0;  // index into candidates
+
+  bool reachable() const { return !candidates.empty(); }
+  const CandidateRoute& best() const { return candidates[canonical]; }
+  /// True when the tied candidates span more than one site (the raw
+  /// material for both hot-potato divisions and route flapping).
+  bool multi_site() const;
+};
+
+/// Knobs for a routing computation.
+struct RoutingOptions {
+  /// Salt mixed into the tie-break hash. Different salts model different
+  /// routing epochs: ASes with tied candidates may flip their canonical
+  /// choice, reproducing the April-to-May catchment shift of §5.5.
+  std::uint64_t tiebreak_salt = 0;
+  /// Fraction of tied advertisement decisions that are re-rolled per
+  /// epoch instead of following nearest-egress hot-potato. Models IGP
+  /// re-weighting, maintenance, and TE changes between measurement dates
+  /// — the mechanism behind the paper's 82.4% -> 87.8% block shift over
+  /// one month (§5.5). Deterministic per salt.
+  double epoch_jitter_rate = 0.25;
+};
+
+/// The computed routing outcome for one deployment.
+class RoutingTable {
+ public:
+  RoutingTable(const topology::Topology& topo,
+               const anycast::Deployment& deployment,
+               std::vector<AsRoutingState> states,
+               std::uint64_t epoch_salt = 0);
+
+  const topology::Topology& topology() const { return *topo_; }
+  const anycast::Deployment& deployment() const { return *deployment_; }
+
+  const AsRoutingState& state(AsId as) const { return states_[as]; }
+
+  /// Hot-potato-resolved site for a specific PoP of an AS.
+  SiteId site_for_pop(AsId as, std::uint16_t pop) const {
+    return pop_sites_[pop_offsets_[as] + pop];
+  }
+
+  /// Site for a /24 block (via its owning AS + PoP); kUnknownSite if the
+  /// block is unallocated or its AS is unreachable.
+  SiteId site_for_block(net::Block24 block) const;
+
+  /// Number of distinct sites chosen across an AS's PoPs and tied routes.
+  std::size_t distinct_sites(AsId as) const;
+
+ private:
+  const topology::Topology* topo_;
+  const anycast::Deployment* deployment_;
+  std::uint64_t epoch_salt_ = 0;
+  std::vector<AsRoutingState> states_;
+  std::vector<std::uint32_t> pop_offsets_;  // per AS, into pop_sites_
+  std::vector<SiteId> pop_sites_;
+};
+
+/// Runs the three-stage valley-free propagation and hot-potato resolution.
+RoutingTable compute_routes(const topology::Topology& topo,
+                            const anycast::Deployment& deployment,
+                            const RoutingOptions& options = {});
+
+}  // namespace vp::bgp

@@ -1,0 +1,23 @@
+#include "core/catchment.hpp"
+
+namespace vp::core {
+
+std::vector<std::uint64_t> CatchmentMap::per_site_counts(
+    std::size_t site_count) const {
+  std::vector<std::uint64_t> counts(site_count, 0);
+  for (const auto& [block, site] : sites_) {
+    if (site >= 0 && static_cast<std::size_t>(site) < site_count)
+      ++counts[static_cast<std::size_t>(site)];
+  }
+  return counts;
+}
+
+double CatchmentMap::fraction_to(anycast::SiteId site) const {
+  if (sites_.empty()) return 0.0;
+  std::uint64_t hits = 0;
+  for (const auto& [block, s] : sites_)
+    if (s == site) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(sites_.size());
+}
+
+}  // namespace vp::core

@@ -1,0 +1,67 @@
+// The product of one Verfploeter measurement: block -> site.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "anycast/deployment.hpp"
+#include "net/ipv4.hpp"
+
+namespace vp::core {
+
+/// Counters from the data-cleaning pass (paper §4, "Data cleaning: we
+/// remove ... duplicate results, replies from IP-addresses that we did not
+/// send a request to, and late replies").
+struct CleaningStats {
+  std::uint64_t raw_replies = 0;   // everything collectors recorded
+  std::uint64_t malformed = 0;     // failed parse/checksum at collectors
+  std::uint64_t wrong_id = 0;      // stale measurement id (older round)
+  std::uint64_t unsolicited = 0;   // source address we never probed
+  std::uint64_t duplicates = 0;    // block already mapped this round
+  std::uint64_t late = 0;          // arrived after the cutoff
+  std::uint64_t kept = 0;          // survived all filters
+
+  std::uint64_t dropped() const {
+    return malformed + wrong_id + unsolicited + duplicates + late;
+  }
+};
+
+/// The catchment map measured by one round.
+class CatchmentMap {
+ public:
+  /// Site serving a block; kUnknownSite if the block did not map.
+  anycast::SiteId site_of(net::Block24 block) const {
+    const auto it = sites_.find(block);
+    return it == sites_.end() ? anycast::kUnknownSite : it->second;
+  }
+
+  bool contains(net::Block24 block) const { return sites_.count(block) > 0; }
+
+  void set(net::Block24 block, anycast::SiteId site) {
+    sites_.emplace(block, site);
+  }
+
+  std::size_t mapped_blocks() const { return sites_.size(); }
+
+  const std::unordered_map<net::Block24, anycast::SiteId>& entries() const {
+    return sites_;
+  }
+
+  /// Blocks per site; index = site id, one extra slot is NOT added for
+  /// unknown (unmapped blocks are simply absent).
+  std::vector<std::uint64_t> per_site_counts(std::size_t site_count) const;
+
+  /// Fraction of mapped blocks served by `site`.
+  double fraction_to(anycast::SiteId site) const;
+
+  CleaningStats cleaning;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t blocks_probed = 0;
+  std::uint32_t measurement_id = 0;
+
+ private:
+  std::unordered_map<net::Block24, anycast::SiteId> sites_;
+};
+
+}  // namespace vp::core

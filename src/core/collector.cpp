@@ -1,0 +1,22 @@
+#include "core/collector.hpp"
+
+namespace vp::core {
+
+void Collector::receive(std::span<const std::uint8_t> packet,
+                        util::SimTime arrival) {
+  const auto parsed = net::parse_reply(packet);
+  if (!parsed) {
+    ++malformed_;
+    return;
+  }
+  ReplyRecord record;
+  record.site = site_;
+  record.arrival = arrival;
+  record.source = parsed->ip.source;
+  record.original_target = parsed->probe.original_target;
+  record.measurement_id = parsed->probe.measurement_id;
+  record.tx_time = util::SimTime{parsed->probe.tx_time_usec};
+  records_.push_back(record);
+}
+
+}  // namespace vp::core

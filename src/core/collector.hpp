@@ -1,0 +1,53 @@
+// Per-site reply collection (paper §3.1, "response collection systems").
+//
+// Each anycast site runs a collector that captures raw packets addressed to
+// the measurement address, parses them, and keeps a compact record per
+// reply. Records from all sites are later shipped to a central point and
+// merged ("we copy all responses to a central site for analysis").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "anycast/deployment.hpp"
+#include "net/packet.hpp"
+#include "util/clock.hpp"
+
+namespace vp::core {
+
+/// One parsed, validated reply as recorded at a site.
+struct ReplyRecord {
+  anycast::SiteId site = anycast::kUnknownSite;
+  util::SimTime arrival;
+  net::Ipv4Address source;           // who the reply came from
+  net::Ipv4Address original_target;  // who we actually probed (payload)
+  std::uint32_t measurement_id = 0;
+  util::SimTime tx_time;
+};
+
+class Collector {
+ public:
+  explicit Collector(anycast::SiteId site) : site_(site) {}
+
+  anycast::SiteId site() const { return site_; }
+
+  /// Feeds one captured packet. Malformed or non-probe packets are
+  /// counted and dropped (a real capture sees plenty of stray traffic).
+  void receive(std::span<const std::uint8_t> packet, util::SimTime arrival);
+
+  std::span<const ReplyRecord> records() const { return records_; }
+  std::uint64_t malformed() const { return malformed_; }
+
+  void clear() {
+    records_.clear();
+    malformed_ = 0;
+  }
+
+ private:
+  anycast::SiteId site_;
+  std::vector<ReplyRecord> records_;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace vp::core

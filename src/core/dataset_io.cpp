@@ -1,0 +1,142 @@
+#include "core/dataset_io.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace vp::core {
+
+namespace {
+
+/// Splits a CSV line at commas (our fields never contain commas/quotes).
+std::vector<std::string_view> split_csv(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  double value = 0.0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+void write_catchment_csv(std::ostream& out, const RoundResult& round,
+                         const anycast::Deployment& deployment) {
+  out << "block,site,rtt_ms\n";
+  // Deterministic order: sort by block index.
+  std::vector<net::Block24> blocks;
+  blocks.reserve(round.map.entries().size());
+  for (const auto& [block, site] : round.map.entries())
+    blocks.push_back(block);
+  std::sort(blocks.begin(), blocks.end());
+  char buf[16];
+  for (const net::Block24 block : blocks) {
+    const anycast::SiteId site = round.map.site_of(block);
+    const auto rtt = round.rtt_ms.find(block);
+    std::snprintf(buf, sizeof buf, "%.2f",
+                  rtt == round.rtt_ms.end()
+                      ? 0.0
+                      : static_cast<double>(rtt->second));
+    out << block.prefix().to_string() << ','
+        << deployment.sites[static_cast<std::size_t>(site)].code << ','
+        << buf << '\n';
+  }
+}
+
+std::optional<RoundResult> read_catchment_csv(
+    std::istream& in, const anycast::Deployment& deployment) {
+  std::string line;
+  if (!std::getline(in, line) || line != "block,site,rtt_ms")
+    return std::nullopt;
+  RoundResult round;
+  round.raw_replies_per_site.assign(deployment.sites.size(), 0);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv(line);
+    if (fields.size() != 3) return std::nullopt;
+    const auto prefix = net::Prefix::parse(fields[0]);
+    if (!prefix || prefix->length() != 24) return std::nullopt;
+    const auto site = deployment.site_by_code(fields[1]);
+    if (!site) return std::nullopt;
+    const auto rtt = parse_double(fields[2]);
+    if (!rtt || *rtt < 0) return std::nullopt;
+    const net::Block24 block{prefix->base().value() >> 8};
+    if (round.map.contains(block)) return std::nullopt;  // duplicate row
+    round.map.set(block, *site);
+    round.rtt_ms.emplace(block, static_cast<float>(*rtt));
+  }
+  return round;
+}
+
+void write_load_csv(std::ostream& out, const dnsload::LoadModel& load) {
+  out << "block,daily_queries,good_fraction\n";
+  char buf[64];
+  for (const dnsload::BlockLoad& bl : load.blocks()) {
+    std::snprintf(buf, sizeof buf, "%.6g,%.4f", bl.daily_queries,
+                  static_cast<double>(bl.good_fraction));
+    out << bl.block.prefix().to_string() << ',' << buf << '\n';
+  }
+}
+
+std::optional<LoadDataset> read_load_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != "block,daily_queries,good_fraction") {
+    return std::nullopt;
+  }
+  LoadDataset dataset;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv(line);
+    if (fields.size() != 3) return std::nullopt;
+    const auto prefix = net::Prefix::parse(fields[0]);
+    const auto queries = parse_double(fields[1]);
+    const auto good = parse_double(fields[2]);
+    if (!prefix || prefix->length() != 24 || !queries || *queries < 0 ||
+        !good || *good < 0 || *good > 1) {
+      return std::nullopt;
+    }
+    dnsload::BlockLoad bl;
+    bl.block = net::Block24{prefix->base().value() >> 8};
+    bl.daily_queries = *queries;
+    bl.good_fraction = static_cast<float>(*good);
+    dataset.total_daily_queries += bl.daily_queries;
+    dataset.blocks.push_back(bl);
+  }
+  return dataset;
+}
+
+bool save_catchment(const std::string& path, const RoundResult& round,
+                    const anycast::Deployment& deployment) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_catchment_csv(out, round, deployment);
+  return static_cast<bool>(out);
+}
+
+std::optional<RoundResult> load_catchment(
+    const std::string& path, const anycast::Deployment& deployment) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return read_catchment_csv(in, deployment);
+}
+
+}  // namespace vp::core

@@ -1,0 +1,49 @@
+// Dataset export/import (the paper releases all measurement data as
+// per-block catchment tables; see its Table 1/2 dataset citations).
+//
+// Format: plain CSV, one row per mapped /24 —
+//     block,site,rtt_ms
+//     1.2.3.0/24,LAX,182.40
+// Unmapped blocks are simply absent. Load datasets use
+//     block,daily_queries,good_fraction
+// Both formats round-trip exactly (RTTs at two decimals).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "anycast/deployment.hpp"
+#include "core/verfploeter.hpp"
+#include "dnsload/load_model.hpp"
+
+namespace vp::core {
+
+/// Writes a measured round (catchment + RTTs) as CSV.
+void write_catchment_csv(std::ostream& out, const RoundResult& round,
+                         const anycast::Deployment& deployment);
+
+/// Reads a catchment CSV back. Unknown site codes or malformed rows make
+/// the whole load fail (datasets are either intact or rejected).
+std::optional<RoundResult> read_catchment_csv(
+    std::istream& in, const anycast::Deployment& deployment);
+
+/// Writes a load model's per-block volumes as CSV.
+void write_load_csv(std::ostream& out, const dnsload::LoadModel& load);
+
+/// A load dataset read back from CSV (the subset of LoadModel the
+/// analyses need, without regenerating the model).
+struct LoadDataset {
+  std::vector<dnsload::BlockLoad> blocks;
+  double total_daily_queries = 0.0;
+};
+
+std::optional<LoadDataset> read_load_csv(std::istream& in);
+
+/// Convenience file wrappers; return false / nullopt on I/O failure.
+bool save_catchment(const std::string& path, const RoundResult& round,
+                    const anycast::Deployment& deployment);
+std::optional<RoundResult> load_catchment(
+    const std::string& path, const anycast::Deployment& deployment);
+
+}  // namespace vp::core

@@ -1,0 +1,244 @@
+#include "dns/message.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace vp::dns {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+std::optional<std::uint16_t> get_u16(std::span<const std::uint8_t> d,
+                                     std::size_t& at) {
+  if (at + 2 > d.size()) return std::nullopt;
+  const auto v = static_cast<std::uint16_t>((d[at] << 8) | d[at + 1]);
+  at += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> get_u32(std::span<const std::uint8_t> d,
+                                     std::size_t& at) {
+  const auto hi = get_u16(d, at);
+  if (!hi) return std::nullopt;
+  const auto lo = get_u16(d, at);
+  if (!lo) return std::nullopt;
+  return (std::uint32_t{*hi} << 16) | *lo;
+}
+
+char ascii_lower(char c) {
+  return static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+bool Name::encode(std::vector<std::uint8_t>& out) const {
+  std::size_t start = 0;
+  while (start < text_.size()) {
+    std::size_t dot = text_.find('.', start);
+    if (dot == std::string::npos) dot = text_.size();
+    const std::size_t len = dot - start;
+    if (len == 0 || len > 63) return false;
+    out.push_back(static_cast<std::uint8_t>(len));
+    out.insert(out.end(), text_.begin() + static_cast<std::ptrdiff_t>(start),
+               text_.begin() + static_cast<std::ptrdiff_t>(dot));
+    start = dot + 1;
+  }
+  out.push_back(0);  // root
+  return true;
+}
+
+std::optional<Name> Name::parse(std::span<const std::uint8_t> message,
+                                std::size_t& offset) {
+  std::string text;
+  std::size_t at = offset;
+  bool jumped = false;
+  std::size_t end_of_name = offset;  // where parsing resumes
+  int hops = 0;
+  while (true) {
+    if (at >= message.size()) return std::nullopt;
+    const std::uint8_t len = message[at];
+    if ((len & 0xc0) == 0xc0) {  // compression pointer
+      if (at + 1 >= message.size()) return std::nullopt;
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | message[at + 1];
+      if (!jumped) end_of_name = at + 2;
+      jumped = true;
+      if (target >= at || ++hops > 32) return std::nullopt;  // loop guard
+      at = target;
+      continue;
+    }
+    if ((len & 0xc0) != 0) return std::nullopt;  // reserved label types
+    ++at;
+    if (len == 0) break;  // root
+    if (at + len > message.size()) return std::nullopt;
+    if (!text.empty()) text.push_back('.');
+    text.append(reinterpret_cast<const char*>(message.data() + at), len);
+    at += len;
+    if (text.size() > 253) return std::nullopt;
+  }
+  if (!jumped) end_of_name = at;
+  offset = end_of_name;
+  return Name{std::move(text)};
+}
+
+bool Name::equals_ignore_case(const Name& other) const {
+  return text_.size() == other.text_.size() &&
+         std::equal(text_.begin(), text_.end(), other.text_.begin(),
+                    [](char a, char b) {
+                      return ascii_lower(a) == ascii_lower(b);
+                    });
+}
+
+std::vector<std::uint8_t> ResourceRecord::txt_rdata(std::string_view text) {
+  std::vector<std::uint8_t> out;
+  const std::size_t len = std::min<std::size_t>(text.size(), 255);
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.insert(out.end(), text.begin(),
+             text.begin() + static_cast<std::ptrdiff_t>(len));
+  return out;
+}
+
+std::optional<std::string> ResourceRecord::txt_text(
+    std::span<const std::uint8_t> rdata) {
+  if (rdata.empty()) return std::nullopt;
+  const std::uint8_t len = rdata[0];
+  if (1 + static_cast<std::size_t>(len) > rdata.size()) return std::nullopt;
+  return std::string{reinterpret_cast<const char*>(rdata.data() + 1), len};
+}
+
+std::optional<std::vector<std::uint8_t>> Message::serialize() const {
+  std::vector<std::uint8_t> out;
+  put_u16(out, id);
+  std::uint16_t flags = 0;
+  if (is_response) flags |= 0x8000;
+  if (authoritative) flags |= 0x0400;
+  if (recursion_desired) flags |= 0x0100;
+  flags |= static_cast<std::uint16_t>(rcode) & 0x0f;
+  put_u16(out, flags);
+  put_u16(out, static_cast<std::uint16_t>(questions.size()));
+  put_u16(out, static_cast<std::uint16_t>(answers.size()));
+  put_u16(out, 0);  // NSCOUNT
+  put_u16(out, 0);  // ARCOUNT
+  for (const Question& q : questions) {
+    if (!q.name.encode(out)) return std::nullopt;
+    put_u16(out, static_cast<std::uint16_t>(q.type));
+    put_u16(out, static_cast<std::uint16_t>(q.cls));
+  }
+  for (const ResourceRecord& rr : answers) {
+    if (!rr.name.encode(out)) return std::nullopt;
+    put_u16(out, static_cast<std::uint16_t>(rr.type));
+    put_u16(out, static_cast<std::uint16_t>(rr.cls));
+    put_u32(out, rr.ttl);
+    if (rr.rdata.size() > 0xffff) return std::nullopt;
+    put_u16(out, static_cast<std::uint16_t>(rr.rdata.size()));
+    out.insert(out.end(), rr.rdata.begin(), rr.rdata.end());
+  }
+  return out;
+}
+
+std::optional<Message> Message::parse(std::span<const std::uint8_t> data) {
+  std::size_t at = 0;
+  Message msg;
+  const auto id = get_u16(data, at);
+  const auto flags = get_u16(data, at);
+  const auto qdcount = get_u16(data, at);
+  const auto ancount = get_u16(data, at);
+  const auto nscount = get_u16(data, at);
+  const auto arcount = get_u16(data, at);
+  if (!id || !flags || !qdcount || !ancount || !nscount || !arcount)
+    return std::nullopt;
+  msg.id = *id;
+  msg.is_response = (*flags & 0x8000) != 0;
+  msg.authoritative = (*flags & 0x0400) != 0;
+  msg.recursion_desired = (*flags & 0x0100) != 0;
+  msg.rcode = static_cast<RCode>(*flags & 0x0f);
+
+  for (std::uint16_t i = 0; i < *qdcount; ++i) {
+    auto name = Name::parse(data, at);
+    if (!name) return std::nullopt;
+    const auto type = get_u16(data, at);
+    const auto cls = get_u16(data, at);
+    if (!type || !cls) return std::nullopt;
+    msg.questions.push_back(Question{std::move(*name),
+                                     static_cast<Type>(*type),
+                                     static_cast<Class>(*cls)});
+  }
+  for (std::uint16_t i = 0; i < *ancount; ++i) {
+    auto name = Name::parse(data, at);
+    if (!name) return std::nullopt;
+    const auto type = get_u16(data, at);
+    const auto cls = get_u16(data, at);
+    const auto ttl = get_u32(data, at);
+    const auto rdlength = get_u16(data, at);
+    if (!type || !cls || !ttl || !rdlength) return std::nullopt;
+    if (at + *rdlength > data.size()) return std::nullopt;
+    ResourceRecord rr;
+    rr.name = std::move(*name);
+    rr.type = static_cast<Type>(*type);
+    rr.cls = static_cast<Class>(*cls);
+    rr.ttl = *ttl;
+    rr.rdata.assign(data.begin() + static_cast<std::ptrdiff_t>(at),
+                    data.begin() + static_cast<std::ptrdiff_t>(at + *rdlength));
+    at += *rdlength;
+    msg.answers.push_back(std::move(rr));
+  }
+  // NS/AR sections are not used by this library; accept and ignore any
+  // trailing bytes they occupy.
+  return msg;
+}
+
+Message make_hostname_bind_query(std::uint16_t id) {
+  Message msg;
+  msg.id = id;
+  msg.questions.push_back(
+      Question{Name{"hostname.bind"}, Type::kTxt, Class::kChaos});
+  return msg;
+}
+
+Message make_hostname_bind_response(const Message& query,
+                                    std::string_view site_hostname) {
+  Message msg;
+  msg.id = query.id;
+  msg.is_response = true;
+  msg.authoritative = true;
+  msg.questions = query.questions;
+  if (query.questions.size() != 1 ||
+      !query.questions[0].name.equals_ignore_case(Name{"hostname.bind"}) ||
+      query.questions[0].cls != Class::kChaos ||
+      query.questions[0].type != Type::kTxt) {
+    msg.rcode = RCode::kRefused;
+    return msg;
+  }
+  ResourceRecord rr;
+  rr.name = query.questions[0].name;
+  rr.type = Type::kTxt;
+  rr.cls = Class::kChaos;
+  rr.ttl = 0;
+  rr.rdata = ResourceRecord::txt_rdata(site_hostname);
+  msg.answers.push_back(std::move(rr));
+  return msg;
+}
+
+std::optional<std::string> parse_hostname_bind_response(
+    const Message& response) {
+  if (!response.is_response || response.rcode != RCode::kNoError)
+    return std::nullopt;
+  for (const ResourceRecord& rr : response.answers) {
+    if (rr.type == Type::kTxt && rr.cls == Class::kChaos &&
+        rr.name.equals_ignore_case(Name{"hostname.bind"})) {
+      return ResourceRecord::txt_text(rr.rdata);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vp::dns

@@ -1,0 +1,122 @@
+// DNS wire format (RFC 1035 subset).
+//
+// The anycast service the paper studies *is* DNS, and the traditional
+// catchment-mapping side (RIPE Atlas) identifies sites with a CHAOS-class
+// TXT query for "hostname.bind" (paper §3.1, [49]). This module provides
+// the real message encoding for that path: header, question, and TXT/A
+// resource records, with strict parsing (bounded labels, no compression
+// pointers on encode, loop-safe decompression on parse).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vp::dns {
+
+/// Record/query types we support.
+enum class Type : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kSoa = 6,
+  kTxt = 16,
+  kAaaa = 28,
+};
+
+/// DNS classes; CHAOS is the vehicle for hostname.bind.
+enum class Class : std::uint16_t {
+  kIn = 1,
+  kChaos = 3,
+};
+
+/// RFC 1035 RCODEs we emit.
+enum class RCode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+/// A domain name held as dotted text ("hostname.bind", "example.com").
+/// Comparison is case-insensitive per RFC 1035 §2.3.3.
+class Name {
+ public:
+  Name() = default;
+  explicit Name(std::string text) : text_(std::move(text)) {}
+
+  const std::string& text() const { return text_; }
+  bool empty() const { return text_.empty(); }
+
+  /// Wire-encodes as length-prefixed labels + root. Fails (returns false)
+  /// on empty labels or labels > 63 bytes.
+  bool encode(std::vector<std::uint8_t>& out) const;
+
+  /// Parses a (possibly compressed) name at `offset` within `message`.
+  /// Advances `offset` past the name's bytes at its original position.
+  static std::optional<Name> parse(std::span<const std::uint8_t> message,
+                                   std::size_t& offset);
+
+  bool equals_ignore_case(const Name& other) const;
+
+ private:
+  std::string text_;
+};
+
+struct Question {
+  Name name;
+  Type type = Type::kA;
+  Class cls = Class::kIn;
+};
+
+struct ResourceRecord {
+  Name name;
+  Type type = Type::kTxt;
+  Class cls = Class::kChaos;
+  std::uint32_t ttl = 0;
+  std::vector<std::uint8_t> rdata;
+
+  /// Builds a TXT rdata (single character-string) from text.
+  static std::vector<std::uint8_t> txt_rdata(std::string_view text);
+  /// Extracts the first character-string of a TXT rdata.
+  static std::optional<std::string> txt_text(
+      std::span<const std::uint8_t> rdata);
+};
+
+/// A DNS message: header + sections.
+struct Message {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool authoritative = false;
+  bool recursion_desired = false;
+  RCode rcode = RCode::kNoError;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+
+  /// Serializes to wire bytes (no compression, fine for our sizes).
+  /// Returns nullopt if any name fails to encode.
+  std::optional<std::vector<std::uint8_t>> serialize() const;
+
+  /// Parses a full message; nullopt on any malformation (truncation,
+  /// bad label, compression loop, counts beyond the buffer).
+  static std::optional<Message> parse(std::span<const std::uint8_t> data);
+};
+
+/// Builds the classic site-identification query (CH TXT hostname.bind).
+Message make_hostname_bind_query(std::uint16_t id);
+
+/// Builds the authoritative response a site's name server returns, with
+/// the site identifier (e.g. "b1-lax") as the TXT payload.
+Message make_hostname_bind_response(const Message& query,
+                                    std::string_view site_hostname);
+
+/// Extracts the site hostname from a hostname.bind response; nullopt if
+/// the message is not a well-formed, matching response.
+std::optional<std::string> parse_hostname_bind_response(
+    const Message& response);
+
+}  // namespace vp::dns

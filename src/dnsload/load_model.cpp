@@ -1,0 +1,110 @@
+#include "dnsload/load_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace vp::dnsload {
+
+namespace {
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+double country_volume_multiplier(LoadProfile profile,
+                                 std::string_view country) {
+  if (profile == LoadProfile::kRootLike) {
+    // NAT-dense regions put many users behind few blocks (§5.4: India's
+    // load exceeds its block share); ICMP-filtering regions still query.
+    if (country == "IN") return 4.0;
+    if (country == "KR") return 3.5;
+    if (country == "CN") return 3.0;
+    if (country == "ID" || country == "PH" || country == "VN") return 2.2;
+    // Carrier-grade NAT is ubiquitous across South America too.
+    if (country == "BR" || country == "AR") return 3.0;
+    if (country == "JP") return 1.5;
+    return 1.0;
+  }
+  // .nl-like: overwhelmingly Dutch/European clients, some US, thin tail.
+  if (country == "NL") return 400.0;
+  if (country == "DE" || country == "GB" || country == "FR" ||
+      country == "BE" || country == "DK" || country == "SE" ||
+      country == "PL" || country == "ES" || country == "IT" ||
+      country == "CZ" || country == "AT" || country == "CH" ||
+      country == "IE" || country == "PT" || country == "FI" ||
+      country == "GR") {
+    return 40.0;
+  }
+  if (country == "US" || country == "CA") return 6.0;
+  return 1.0;
+}
+
+LoadModel::LoadModel(const topology::Topology& topo,
+                     const sim::ResponsivenessModel& responsiveness,
+                     const LoadConfig& config)
+    : topo_(&topo), config_(config) {
+  const std::uint64_t membership_seed =
+      config.membership_seed != 0 ? config.membership_seed : config.seed;
+  double raw_total = 0.0;
+  for (const topology::BlockInfo& info : topo.blocks()) {
+    const std::uint64_t h = util::hash_combine(
+        util::hash_combine(membership_seed, 0xd05), info.block.index());
+    const bool responsive = responsiveness.ever_responds(info.block);
+    const double p = config.querying_rate_responsive *
+                     (responsive ? 1.0 : config.nonresponsive_factor);
+    if (to_unit(h) >= p) continue;
+
+    util::Rng rng{util::hash_combine(
+        util::hash_combine(config.seed, h), 0x10ad)};
+    double volume = rng.pareto(1.0, config.pareto_alpha);
+    if (rng.chance(config.hotspot_rate))
+      volume *= config.hotspot_multiplier;
+    if (!responsive) volume *= config.nonresponsive_volume_multiplier;
+    std::string_view country = "??";
+    if (const auto geo = topo.geodb().lookup(info.block))
+      country = std::string_view{geo->country, 2};
+    // Stash per-block country multiplier lookup via geodb; blocks without
+    // geolocation keep multiplier 1.
+    volume *= country_volume_multiplier(config.profile, country);
+    volume = std::min(volume, config.max_block_multiple);
+
+    BlockLoad load;
+    load.block = info.block;
+    load.daily_queries = volume;
+    load.good_fraction = static_cast<float>(
+        std::clamp(rng.normal(config.good_reply_mean, 0.15), 0.02, 0.98));
+    raw_total += volume;
+    blocks_.push_back(load);
+  }
+  // Normalize so the mean per-block volume matches the configured target.
+  const double target_total =
+      config.mean_daily_per_block * static_cast<double>(blocks_.size());
+  const double factor = raw_total > 0 ? target_total / raw_total : 0.0;
+  index_.reserve(blocks_.size() * 2);
+  for (std::uint32_t i = 0; i < blocks_.size(); ++i) {
+    blocks_[i].daily_queries *= factor;
+    total_daily_ += blocks_[i].daily_queries;
+    total_good_ += blocks_[i].daily_queries * blocks_[i].good_fraction;
+    index_.emplace(blocks_[i].block, i);
+  }
+}
+
+double LoadModel::daily_queries(net::Block24 block) const {
+  const auto it = index_.find(block);
+  return it == index_.end() ? 0.0 : blocks_[it->second].daily_queries;
+}
+
+double LoadModel::hourly_weight(double lon_degrees, int hour_utc) {
+  // Peak around 15:00 local time, trough before dawn; weights sum to 1
+  // over the day because the sinusoid integrates to zero.
+  const double local_hour =
+      std::fmod(hour_utc + lon_degrees / 15.0 + 48.0, 24.0);
+  const double phase =
+      2.0 * std::numbers::pi * (local_hour - 15.0) / 24.0;
+  return (1.0 + 0.6 * std::cos(phase)) / 24.0;
+}
+
+}  // namespace vp::dnsload

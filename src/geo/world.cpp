@@ -1,0 +1,132 @@
+#include "geo/world.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+namespace vp::geo {
+
+std::string_view to_string(Continent c) {
+  switch (c) {
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kSouthAmerica: return "South America";
+    case Continent::kEurope: return "Europe";
+    case Continent::kAfrica: return "Africa";
+    case Continent::kAsia: return "Asia";
+    case Continent::kOceania: return "Oceania";
+  }
+  return "?";
+}
+
+double distance_km(LatLon a, LatLon b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDeg = std::numbers::pi / 180.0;
+  const double dlat = (b.lat - a.lat) * kDeg;
+  const double dlon = (b.lon - a.lon) * kDeg;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(a.lat * kDeg) * std::cos(b.lat * kDeg) *
+                       std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+namespace {
+
+using enum Continent;
+
+// block_weight ~ regional share of active /24 blocks; atlas_weight encodes
+// the well-documented Europe skew of the Atlas platform (paper [8]): Europe
+// holds roughly half of all probes, China almost none.
+constexpr std::array kCenters = {
+    // --- North America ---
+    PopulationCenter{"New York", "US", kNorthAmerica, {40.7, -74.0}, 5.2, 3.2, 3.0},
+    PopulationCenter{"Los Angeles", "US", kNorthAmerica, {34.1, -118.2}, 4.0, 2.2, 3.0},
+    PopulationCenter{"Chicago", "US", kNorthAmerica, {41.9, -87.6}, 3.0, 1.6, 2.5},
+    PopulationCenter{"Dallas", "US", kNorthAmerica, {32.8, -96.8}, 2.6, 1.2, 2.5},
+    PopulationCenter{"Seattle", "US", kNorthAmerica, {47.6, -122.3}, 1.8, 1.0, 2.0},
+    PopulationCenter{"Miami", "US", kNorthAmerica, {25.8, -80.2}, 1.7, 0.8, 2.0},
+    PopulationCenter{"Washington", "US", kNorthAmerica, {38.9, -77.0}, 2.4, 1.4, 2.0},
+    PopulationCenter{"Toronto", "CA", kNorthAmerica, {43.7, -79.4}, 1.6, 1.2, 2.0},
+    PopulationCenter{"Vancouver", "CA", kNorthAmerica, {49.3, -123.1}, 0.8, 0.6, 2.0},
+    PopulationCenter{"Mexico City", "MX", kNorthAmerica, {19.4, -99.1}, 1.8, 0.3, 2.5},
+    // --- South America ---
+    PopulationCenter{"Sao Paulo", "BR", kSouthAmerica, {-23.6, -46.6}, 2.6, 0.5, 2.5},
+    PopulationCenter{"Rio de Janeiro", "BR", kSouthAmerica, {-22.9, -43.2}, 1.3, 0.2, 2.0},
+    PopulationCenter{"Buenos Aires", "AR", kSouthAmerica, {-34.6, -58.4}, 1.4, 0.3, 2.0},
+    PopulationCenter{"Santiago", "CL", kSouthAmerica, {-33.5, -70.7}, 0.8, 0.2, 1.5},
+    PopulationCenter{"Lima", "PE", kSouthAmerica, {-12.0, -77.0}, 0.7, 0.1, 1.5},
+    PopulationCenter{"Bogota", "CO", kSouthAmerica, {4.7, -74.1}, 0.8, 0.1, 1.5},
+    // --- Europe (Atlas-dense) ---
+    PopulationCenter{"London", "GB", kEurope, {51.5, -0.1}, 3.0, 8.0, 1.5},
+    PopulationCenter{"Amsterdam", "NL", kEurope, {52.4, 4.9}, 1.6, 7.5, 1.0},
+    PopulationCenter{"Frankfurt", "DE", kEurope, {50.1, 8.7}, 2.6, 8.5, 1.5},
+    PopulationCenter{"Paris", "FR", kEurope, {48.9, 2.4}, 2.4, 6.0, 1.5},
+    PopulationCenter{"Madrid", "ES", kEurope, {40.4, -3.7}, 1.5, 2.5, 1.5},
+    PopulationCenter{"Milan", "IT", kEurope, {45.5, 9.2}, 1.6, 3.0, 1.5},
+    PopulationCenter{"Stockholm", "SE", kEurope, {59.3, 18.1}, 0.9, 2.6, 1.5},
+    PopulationCenter{"Copenhagen", "DK", kEurope, {55.7, 12.6}, 0.7, 2.2, 1.0},
+    PopulationCenter{"Warsaw", "PL", kEurope, {52.2, 21.0}, 1.3, 2.0, 1.5},
+    PopulationCenter{"Prague", "CZ", kEurope, {50.1, 14.4}, 0.7, 2.4, 1.0},
+    PopulationCenter{"Vienna", "AT", kEurope, {48.2, 16.4}, 0.6, 2.0, 1.0},
+    PopulationCenter{"Zurich", "CH", kEurope, {47.4, 8.5}, 0.6, 2.2, 1.0},
+    PopulationCenter{"Moscow", "RU", kEurope, {55.8, 37.6}, 2.2, 1.8, 2.5},
+    PopulationCenter{"Kyiv", "UA", kEurope, {50.5, 30.5}, 0.9, 1.2, 2.0},
+    PopulationCenter{"Istanbul", "TR", kEurope, {41.0, 28.9}, 1.4, 0.8, 2.0},
+    PopulationCenter{"Athens", "GR", kEurope, {38.0, 23.7}, 0.5, 1.0, 1.5},
+    PopulationCenter{"Lisbon", "PT", kEurope, {38.7, -9.1}, 0.5, 1.0, 1.5},
+    PopulationCenter{"Dublin", "IE", kEurope, {53.3, -6.3}, 0.4, 1.2, 1.0},
+    PopulationCenter{"Helsinki", "FI", kEurope, {60.2, 24.9}, 0.5, 1.6, 1.5},
+    PopulationCenter{"Enschede", "NL", kEurope, {52.2, 6.9}, 0.3, 1.5, 0.8},
+    // --- Africa ---
+    PopulationCenter{"Johannesburg", "ZA", kAfrica, {-26.2, 28.0}, 0.9, 0.5, 2.0},
+    PopulationCenter{"Cairo", "EG", kAfrica, {30.0, 31.2}, 1.0, 0.2, 2.0},
+    PopulationCenter{"Lagos", "NG", kAfrica, {6.5, 3.4}, 0.8, 0.1, 2.0},
+    PopulationCenter{"Nairobi", "KE", kAfrica, {-1.3, 36.8}, 0.5, 0.2, 1.5},
+    PopulationCenter{"Casablanca", "MA", kAfrica, {33.6, -7.6}, 0.4, 0.1, 1.5},
+    // --- Asia ---
+    PopulationCenter{"Beijing", "CN", kAsia, {39.9, 116.4}, 4.5, 0.05, 3.0},
+    PopulationCenter{"Shanghai", "CN", kAsia, {31.2, 121.5}, 4.8, 0.05, 3.0},
+    PopulationCenter{"Guangzhou", "CN", kAsia, {23.1, 113.3}, 4.2, 0.04, 3.0},
+    PopulationCenter{"Chengdu", "CN", kAsia, {30.6, 104.1}, 2.6, 0.02, 3.0},
+    PopulationCenter{"Tokyo", "JP", kAsia, {35.7, 139.7}, 3.4, 0.9, 2.0},
+    PopulationCenter{"Osaka", "JP", kAsia, {34.7, 135.5}, 1.6, 0.4, 1.5},
+    PopulationCenter{"Seoul", "KR", kAsia, {37.6, 127.0}, 2.8, 0.3, 1.5},
+    PopulationCenter{"Mumbai", "IN", kAsia, {19.1, 72.9}, 2.4, 0.4, 2.5},
+    PopulationCenter{"Delhi", "IN", kAsia, {28.6, 77.2}, 2.6, 0.3, 2.5},
+    PopulationCenter{"Bangalore", "IN", kAsia, {13.0, 77.6}, 1.7, 0.3, 2.0},
+    PopulationCenter{"Singapore", "SG", kAsia, {1.4, 103.8}, 1.2, 0.8, 1.0},
+    PopulationCenter{"Hong Kong", "HK", kAsia, {22.3, 114.2}, 1.4, 0.6, 1.0},
+    PopulationCenter{"Taipei", "TW", kAsia, {25.0, 121.6}, 1.2, 0.3, 1.5},
+    PopulationCenter{"Bangkok", "TH", kAsia, {13.8, 100.5}, 1.3, 0.2, 2.0},
+    PopulationCenter{"Jakarta", "ID", kAsia, {-6.2, 106.8}, 1.6, 0.2, 2.0},
+    PopulationCenter{"Manila", "PH", kAsia, {14.6, 121.0}, 1.0, 0.1, 2.0},
+    PopulationCenter{"Hanoi", "VN", kAsia, {21.0, 105.8}, 1.1, 0.1, 2.0},
+    PopulationCenter{"Tehran", "IR", kAsia, {35.7, 51.4}, 1.0, 0.1, 2.0},
+    PopulationCenter{"Dubai", "AE", kAsia, {25.2, 55.3}, 0.6, 0.3, 1.5},
+    PopulationCenter{"Tel Aviv", "IL", kAsia, {32.1, 34.8}, 0.6, 0.6, 1.0},
+    PopulationCenter{"Karachi", "PK", kAsia, {24.9, 67.0}, 0.9, 0.1, 2.0},
+    // --- Oceania ---
+    PopulationCenter{"Sydney", "AU", kOceania, {-33.9, 151.2}, 1.2, 0.9, 2.0},
+    PopulationCenter{"Melbourne", "AU", kOceania, {-37.8, 145.0}, 0.9, 0.6, 2.0},
+    PopulationCenter{"Auckland", "NZ", kOceania, {-36.8, 174.8}, 0.4, 0.4, 1.5},
+};
+
+}  // namespace
+
+std::span<const PopulationCenter> world_centers() { return kCenters; }
+
+double total_block_weight() {
+  static const double total = std::accumulate(
+      kCenters.begin(), kCenters.end(), 0.0,
+      [](double acc, const PopulationCenter& c) { return acc + c.block_weight; });
+  return total;
+}
+
+double total_atlas_weight() {
+  static const double total = std::accumulate(
+      kCenters.begin(), kCenters.end(), 0.0,
+      [](double acc, const PopulationCenter& c) { return acc + c.atlas_weight; });
+  return total;
+}
+
+}  // namespace vp::geo

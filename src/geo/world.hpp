@@ -1,0 +1,62 @@
+// A compact world model: population centers with Internet-usage weights.
+//
+// The paper's geographic results hinge on two distributions being very
+// different: where Internet users (and thus ping-responsive /24 blocks)
+// are, and where RIPE Atlas probes are (Europe-heavy, §5.4, [8]). This
+// catalog encodes both: each center carries a `block_weight` (share of the
+// world's /24 blocks homed there) and an `atlas_weight` (share of Atlas
+// VPs), loosely derived from public regional Internet statistics. Absolute
+// values are synthetic; only the relative shape matters for the
+// reproduction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace vp::geo {
+
+/// Continent of a population center; used for regional aggregation.
+enum class Continent : std::uint8_t {
+  kNorthAmerica,
+  kSouthAmerica,
+  kEurope,
+  kAfrica,
+  kAsia,
+  kOceania,
+};
+
+std::string_view to_string(Continent c);
+
+/// Geographic coordinates in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance in kilometers (haversine).
+double distance_km(LatLon a, LatLon b);
+
+/// A population center: a metro-area-scale cluster where ASes and their
+/// address blocks are homed.
+struct PopulationCenter {
+  std::string_view name;        // e.g. "Sao Paulo"
+  std::string_view country;     // ISO-3166-ish alpha-2, e.g. "BR"
+  Continent continent;
+  LatLon location;
+  double block_weight;   // relative share of the world's /24 blocks
+  double atlas_weight;   // relative share of RIPE Atlas probes
+  double scatter_deg;    // stddev of block scatter around the center
+};
+
+/// The full catalog (≈60 centers across every continent).
+std::span<const PopulationCenter> world_centers();
+
+/// Sum of block weights across the catalog (for normalization).
+double total_block_weight();
+
+/// Sum of Atlas weights across the catalog.
+double total_atlas_weight();
+
+}  // namespace vp::geo

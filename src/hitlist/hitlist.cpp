@@ -1,0 +1,62 @@
+#include "hitlist/hitlist.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace vp::hitlist {
+
+namespace {
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+Hitlist Hitlist::build(const topology::Topology& topo,
+                       const sim::ResponsivenessModel& responsiveness,
+                       const HitlistConfig& config) {
+  Hitlist out;
+  out.entries_.reserve(topo.block_count());
+  for (const topology::BlockInfo& info : topo.blocks()) {
+    const std::uint64_t h = util::hash_combine(
+        util::hash_combine(config.seed, 0xb10c), info.block.index());
+    if (to_unit(h) < config.missing_block_rate) continue;
+    std::uint8_t host = responsiveness.responsive_host(info.block);
+    const std::uint64_t h2 = util::hash_combine(h, 0x57a1e);
+    if (to_unit(h2) < config.stale_entry_rate) {
+      // Stale entry: the census-era host is gone; point somewhere else.
+      host = static_cast<std::uint8_t>(
+          1 + (host + 1 + h2 % 248) % 250);
+    }
+    out.entries_.push_back(Entry{info.block, info.block.address(host)});
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Hitlist::probe_order(
+    std::uint64_t round_seed) const {
+  std::vector<std::uint32_t> order(entries_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  util::Rng rng{round_seed};
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+  return order;
+}
+
+std::vector<net::Ipv4Address> Hitlist::targets_for(
+    const Entry& entry, int extra_targets_per_block,
+    std::uint64_t seed) const {
+  std::vector<net::Ipv4Address> targets{entry.target};
+  util::Rng rng{util::hash_combine(seed, entry.block.index())};
+  for (int i = 0; i < extra_targets_per_block; ++i) {
+    net::Ipv4Address candidate =
+        entry.block.address(static_cast<std::uint8_t>(1 + rng.below(250)));
+    if (std::find(targets.begin(), targets.end(), candidate) ==
+        targets.end()) {
+      targets.push_back(candidate);
+    }
+  }
+  return targets;
+}
+
+}  // namespace vp::hitlist

@@ -1,0 +1,34 @@
+#include "net/checksum.hpp"
+
+namespace vp::net {
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> data) noexcept {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Previous buffer ended mid-word: this byte is the low half.
+    sum_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += (std::uint16_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum_ += std::uint16_t{data[i]} << 8;
+    odd_ = true;
+  }
+}
+
+std::uint16_t ChecksumAccumulator::finish() const noexcept {
+  std::uint64_t folded = sum_;
+  while (folded >> 16) folded = (folded & 0xffff) + (folded >> 16);
+  return static_cast<std::uint16_t>(~folded & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+}  // namespace vp::net

@@ -1,0 +1,26 @@
+// RFC 1071 Internet checksum, used by both the IPv4 header and ICMP.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace vp::net {
+
+/// One's-complement sum accumulator so a checksum can be computed over
+/// multiple buffers (header + payload) without copying.
+class ChecksumAccumulator {
+ public:
+  void add(std::span<const std::uint8_t> data) noexcept;
+  /// Finalized RFC 1071 checksum (host order).
+  std::uint16_t finish() const noexcept;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // previous buffer ended on an odd byte boundary
+};
+
+/// Convenience single-buffer checksum.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace vp::net

@@ -1,0 +1,55 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace vp::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* ptr = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(ptr, end, octet);
+    if (ec != std::errc{} || next == ptr || octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+    ptr = next;
+    if (i < 3) {
+      if (ptr == end || *ptr != '.') return std::nullopt;
+      ++ptr;
+    }
+  }
+  if (ptr != end) return std::nullopt;
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned length = 0;
+  const auto len_text = text.substr(slash + 1);
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(),
+                      length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      length > 32) {
+    return std::nullopt;
+  }
+  return Prefix{*addr, static_cast<std::uint8_t>(length)};
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace vp::net

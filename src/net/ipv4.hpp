@@ -1,0 +1,140 @@
+// IPv4 address and CIDR prefix value types.
+//
+// Verfploeter's unit of measurement is the /24 block (the smallest
+// prefix routable in BGP, paper §3.1), so Block24 gets a first-class
+// strong type used as a key throughout the catchment pipeline.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace vp::net {
+
+/// An IPv4 address stored host-order for arithmetic; (de)serialization to
+/// network order lives in the packet layer.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order)
+      : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix (address + length), normalized so that host bits are zero.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Ipv4Address base, std::uint8_t length)
+      : base_(Ipv4Address{length == 0 ? 0 : (base.value() & mask(length))}),
+        length_(length) {}
+
+  constexpr Ipv4Address base() const { return base_; }
+  constexpr std::uint8_t length() const { return length_; }
+
+  /// Number of addresses covered: 2^(32-length).
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// Number of /24 blocks covered (0 for prefixes longer than /24).
+  constexpr std::uint64_t block24_count() const {
+    return length_ <= 24 ? (std::uint64_t{1} << (24 - length_)) : 0;
+  }
+
+  constexpr bool contains(Ipv4Address addr) const {
+    return length_ == 0 || (addr.value() & mask(length_)) == base_.value();
+  }
+
+  constexpr bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.base_);
+  }
+
+  /// Parses "a.b.c.d/len"; returns nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+  static constexpr std::uint32_t mask(std::uint8_t length) {
+    return length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  }
+
+ private:
+  Ipv4Address base_{};
+  std::uint8_t length_ = 0;
+};
+
+/// A /24 block identified by its 24-bit index (address >> 8). The hitlist,
+/// catchment maps, and load tables are all keyed by Block24.
+class Block24 {
+ public:
+  constexpr Block24() = default;
+  explicit constexpr Block24(std::uint32_t index) : index_(index & 0xffffff) {}
+  static constexpr Block24 containing(Ipv4Address addr) {
+    return Block24{addr.value() >> 8};
+  }
+
+  constexpr std::uint32_t index() const { return index_; }
+  constexpr Ipv4Address base_address() const {
+    return Ipv4Address{index_ << 8};
+  }
+  /// The block as a /24 prefix.
+  constexpr Prefix prefix() const { return Prefix{base_address(), 24}; }
+  /// Address at a host offset within the block (offset in [0,255]).
+  constexpr Ipv4Address address(std::uint8_t host) const {
+    return Ipv4Address{(index_ << 8) | host};
+  }
+
+  std::string to_string() const { return prefix().to_string(); }
+
+  constexpr auto operator<=>(const Block24&) const = default;
+
+ private:
+  std::uint32_t index_ = 0;
+};
+
+}  // namespace vp::net
+
+template <>
+struct std::hash<vp::net::Ipv4Address> {
+  std::size_t operator()(const vp::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<vp::net::Block24> {
+  std::size_t operator()(const vp::net::Block24& b) const noexcept {
+    return std::hash<std::uint32_t>{}(b.index());
+  }
+};
+
+template <>
+struct std::hash<vp::net::Prefix> {
+  std::size_t operator()(const vp::net::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.base().value()} << 8) | p.length());
+  }
+};

@@ -1,0 +1,113 @@
+// Longest-prefix-match binary trie, the lookup structure behind
+// "which announced prefix / origin AS covers this address".
+//
+// A plain binary trie (one bit per level, max depth 32) keeps the code
+// simple and is fast enough: lookups are bounded by prefix length, and the
+// simulator's routing tables hold at most a few hundred thousand prefixes.
+// Nodes live in a contiguous vector (index links, not pointers) per the
+// Core Guidelines' preference for compact, cache-friendly structures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace vp::net {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.emplace_back(); }
+
+  /// Inserts or replaces the value at `prefix`. Returns true if the prefix
+  /// was newly inserted, false if an existing value was replaced.
+  bool insert(Prefix prefix, Value value) {
+    std::uint32_t node = 0;
+    const std::uint32_t bits = prefix.base().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      std::uint32_t& child = nodes_[node].children[bit];
+      if (child == kNoNode) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.emplace_back();
+      }
+      node = nodes_[node].children[bit];
+    }
+    const bool fresh = !nodes_[node].value.has_value();
+    nodes_[node].value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Longest-prefix match: the most specific inserted prefix containing
+  /// `addr`, with its value; nullopt if nothing matches.
+  std::optional<std::pair<Prefix, Value>> lookup(Ipv4Address addr) const {
+    std::optional<std::pair<Prefix, Value>> best;
+    std::uint32_t node = 0;
+    const std::uint32_t bits = addr.value();
+    for (std::uint8_t depth = 0;; ++depth) {
+      if (nodes_[node].value)
+        best.emplace(Prefix{addr, depth}, *nodes_[node].value);
+      if (depth == 32) break;
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = nodes_[node].children[bit];
+      if (child == kNoNode) break;
+      node = child;
+    }
+    return best;
+  }
+
+  /// Exact-match lookup of a previously inserted prefix.
+  const Value* find(Prefix prefix) const {
+    std::uint32_t node = 0;
+    const std::uint32_t bits = prefix.base().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = nodes_[node].children[bit];
+      if (child == kNoNode) return nullptr;
+      node = child;
+    }
+    return nodes_[node].value ? &*nodes_[node].value : nullptr;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visits every (prefix, value) pair in lexicographic prefix order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(0, 0, 0, fn);
+  }
+
+ private:
+  static constexpr std::uint32_t kNoNode = 0xffffffff;
+
+  struct Node {
+    std::uint32_t children[2] = {kNoNode, kNoNode};
+    std::optional<Value> value;
+  };
+
+  template <typename Fn>
+  void visit(std::uint32_t node, std::uint32_t bits, std::uint8_t depth,
+             Fn& fn) const {
+    if (nodes_[node].value)
+      fn(Prefix{Ipv4Address{bits}, depth}, *nodes_[node].value);
+    if (depth == 32) return;
+    for (int bit = 0; bit < 2; ++bit) {
+      const std::uint32_t child = nodes_[node].children[bit];
+      if (child != kNoNode) {
+        visit(child,
+              bits | (static_cast<std::uint32_t>(bit) << (31 - depth)),
+              static_cast<std::uint8_t>(depth + 1), fn);
+      }
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vp::net

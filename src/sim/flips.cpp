@@ -1,0 +1,70 @@
+#include "sim/flips.hpp"
+
+#include <array>
+
+#include "util/rng.hpp"
+
+namespace vp::sim {
+
+namespace {
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+bool FlipModel::is_flappy(const bgp::RoutingTable& routes,
+                          net::Block24 block) const {
+  const topology::BlockInfo* info = routes.topology().block_info(block);
+  if (info == nullptr) return false;
+  const bgp::AsRoutingState& state = routes.state(info->as_id);
+  if (!state.reachable() || !state.multi_site()) return false;
+  const topology::AsNode& node = routes.topology().as_at(info->as_id);
+  const double rate = (node.load_balanced
+                           ? config_.flappy_rate_load_balanced
+                           : config_.flappy_rate_background) *
+                      node.flap_scale;
+  return to_unit(util::hash_combine(
+             util::hash_combine(config_.seed, 0xf1a9), block.index())) <
+         rate;
+}
+
+anycast::SiteId FlipModel::site_in_round(const bgp::RoutingTable& routes,
+                                         net::Block24 block,
+                                         std::uint32_t round) const {
+  const topology::BlockInfo* info = routes.topology().block_info(block);
+  if (info == nullptr) return anycast::kUnknownSite;
+
+  anycast::SiteId site;
+  if (is_flappy(routes, block)) {
+    const bgp::AsRoutingState& state = routes.state(info->as_id);
+    const std::uint64_t h = util::hash_combine(
+        util::hash_combine(config_.seed, block.index()), round);
+    site = state.candidates[h % state.candidates.size()].site;
+  } else {
+    // Includes stable per-block multipath splits (§6.2).
+    site = routes.site_for_block(block);
+  }
+
+  // Transient routing event: for one round, the block lands at some other
+  // visible site of the deployment.
+  const std::uint64_t th = util::hash_combine(
+      util::hash_combine(config_.seed, 0x7a4e),
+      util::hash_combine(block.index(), round));
+  if (site >= 0 && to_unit(th) < config_.transient_rate) {
+    const auto& sites = routes.deployment().sites;
+    std::array<anycast::SiteId, 32> visible{};
+    std::size_t visible_count = 0;
+    for (std::size_t s = 0;
+         s < sites.size() && visible_count < visible.size(); ++s) {
+      if (sites[s].enabled && !sites[s].hidden &&
+          static_cast<anycast::SiteId>(s) != site) {
+        visible[visible_count++] = static_cast<anycast::SiteId>(s);
+      }
+    }
+    if (visible_count > 0)
+      site = visible[util::mix64(th) % visible_count];
+  }
+  return site;
+}
+
+}  // namespace vp::sim

@@ -1,0 +1,55 @@
+// Catchment flip model: which blocks change anycast site between rounds.
+//
+// The paper (§6.3, Table 7) finds anycast is stable for ~99.9% of VPs per
+// round, but a small population — concentrated in a handful of ASes with
+// load-balanced multipath, half of it in Chinanet — flips persistently.
+// We model this on top of the routing table's *tied* candidate sets: a
+// block can only flip between sites that BGP actually holds as equal-best
+// at its AS. Within load-balanced ASes a small "flappy" population picks a
+// tied route per round (per-flow load balancing); every other multi-route
+// AS contributes a rare background flip (transient routing changes).
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/routing.hpp"
+#include "net/ipv4.hpp"
+
+namespace vp::sim {
+
+struct FlipConfig {
+  std::uint64_t seed = 11;
+  /// Fraction of blocks within a load-balanced, multi-site AS that are
+  /// persistently flappy (re-rolled each round).
+  double flappy_rate_load_balanced = 0.010;
+  /// Same, for ASes that are multi-site-tied but not flagged
+  /// load-balanced.
+  double flappy_rate_background = 0.0008;
+  /// Per-(block, round) probability of a transient routing event sending
+  /// the block to a different site for just that round — the long "Other"
+  /// tail of Table 7: thousands of ASes with one or two flips each.
+  double transient_rate = 0.0003;
+};
+
+class FlipModel {
+ public:
+  explicit FlipModel(const FlipConfig& config = {}) : config_(config) {}
+
+  const FlipConfig& config() const { return config_; }
+
+  /// Ground-truth site of a block in a specific round: the hot-potato
+  /// choice, unless the block is flappy (per-round pick among the AS's
+  /// tied candidates) or hit by a transient routing event (any other
+  /// visible site, for one round only).
+  anycast::SiteId site_in_round(const bgp::RoutingTable& routes,
+                                net::Block24 block,
+                                std::uint32_t round) const;
+
+  /// Whether the block belongs to the flappy population under `routes`.
+  bool is_flappy(const bgp::RoutingTable& routes, net::Block24 block) const;
+
+ private:
+  FlipConfig config_;
+};
+
+}  // namespace vp::sim

@@ -1,0 +1,94 @@
+#include "sim/internet.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace vp::sim {
+
+double InternetSim::rtt_ms(net::Block24 block, anycast::SiteId site,
+                           const bgp::RoutingTable& routes,
+                           std::uint64_t jitter_key) const {
+  double propagation_ms = 40.0;  // fallback when either end lacks geo
+  const auto geo = topo_->geodb().lookup(block);
+  if (geo && site >= 0) {
+    const auto& site_loc =
+        routes.deployment().sites[static_cast<std::size_t>(site)].location;
+    // ~1ms per 100km round trip (speed of light in fiber, path stretch).
+    propagation_ms = geo::distance_km(geo->location, site_loc) / 100.0 * 2.0;
+  }
+  util::Rng rng{util::hash_combine(jitter_key, block.index())};
+  return propagation_ms + rng.exponential(config_.mean_queue_delay_ms);
+}
+
+std::vector<Delivery> InternetSim::probe(
+    const bgp::RoutingTable& routes,
+    std::span<const std::uint8_t> packet_bytes, util::SimTime tx_time,
+    std::uint32_t round) const {
+  std::vector<Delivery> out;
+
+  // Parse at the "host": a real host only answers well-formed echoes.
+  const auto ip = net::Ipv4Header::parse(packet_bytes);
+  if (!ip || ip->protocol != net::IpProtocol::kIcmp) return out;
+  if (packet_bytes.size() < ip->total_length) return out;
+  const auto icmp = net::IcmpEcho::parse(packet_bytes.subspan(
+      net::Ipv4Header::kSize, ip->total_length - net::Ipv4Header::kSize));
+  if (!icmp || icmp->type != net::IcmpType::kEchoRequest) return out;
+
+  const net::Block24 block = net::Block24::containing(ip->destination);
+  const ReplyBehavior behavior = responsiveness_.behavior(block, round);
+  if (!behavior.responds) return out;
+
+  // Hosts answer only if probed at an address that is actually alive
+  // (the hitlist's representative may be stale; multi-target probing can
+  // still find a live secondary host).
+  if (!responsiveness_.is_live_host(
+          block, static_cast<std::uint8_t>(ip->destination.value() & 0xff)))
+    return out;
+
+  // Source address of the reply: usually the probed host; aliased hosts
+  // (multi-homed boxes, middleboxes) reply from a neighboring address.
+  net::Ipv4Address reply_source = ip->destination;
+  if (behavior.alias) {
+    util::Rng rng{util::hash_combine(
+        util::hash_combine(responsiveness_.config().seed, 0xa71a5),
+        block.index())};
+    // Mostly another host in the same /24; occasionally a different block
+    // entirely (these get cleaned as "replies from addresses we did not
+    // probe", §4).
+    if (rng.chance(0.8)) {
+      reply_source = block.address(static_cast<std::uint8_t>(
+          1 + rng.below(250)));
+    } else {
+      reply_source =
+          net::Ipv4Address{ip->destination.value() + 256};  // next /24
+    }
+    if (reply_source == ip->destination)
+      reply_source = block.address(251);
+  }
+
+  // Catchment: the site whose collector will receive this reply.
+  const anycast::SiteId site = ground_truth_site(routes, block, round);
+  if (site < 0) return out;
+
+  const net::PacketBytes reply =
+      net::build_echo_reply(*ip, *icmp, reply_source);
+
+  const std::uint64_t jitter_key = util::hash_combine(
+      util::hash_combine(config_.responsiveness.seed, round), 0x9d7);
+  for (std::uint8_t copy = 0; copy < behavior.copies; ++copy) {
+    double delay_ms =
+        rtt_ms(block, site, routes,
+               util::hash_combine(jitter_key, copy));
+    if (behavior.late && copy == 0)
+      delay_ms += config_.late_extra_minutes * 60.0 * 1000.0;
+    Delivery d;
+    d.site = site;
+    d.arrival = tx_time + util::SimTime::from_seconds(delay_ms / 1000.0);
+    d.packet = reply;  // copy; deliveries own their bytes
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace vp::sim

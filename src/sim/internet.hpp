@@ -1,0 +1,79 @@
+// The simulated Internet dataplane.
+//
+// Takes raw probe packets from the Verfploeter prober, delivers them to the
+// target host (if the block is responsive this round), and routes the raw
+// Echo Reply bytes to the anycast site serving that block's catchment —
+// exactly the mechanism of Figure 1 (right): the reply returns "to the site
+// for their catchment, even if it is not the site that originated the
+// query". RTTs are distance-based so reply timestamps and the late-reply
+// cleaning path are realistic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/routing.hpp"
+#include "net/packet.hpp"
+#include "sim/flips.hpp"
+#include "sim/responsiveness.hpp"
+#include "util/clock.hpp"
+
+namespace vp::sim {
+
+struct InternetConfig {
+  ResponsivenessConfig responsiveness;
+  FlipConfig flips;
+  /// Mean of the random queuing component added to propagation delay.
+  double mean_queue_delay_ms = 12.0;
+  /// Extra delay (beyond the cutoff) for "late" replies.
+  double late_extra_minutes = 20.0;
+};
+
+/// A reply packet arriving at one anycast site's collector.
+struct Delivery {
+  anycast::SiteId site = anycast::kUnknownSite;
+  util::SimTime arrival;
+  net::PacketBytes packet;
+};
+
+class InternetSim {
+ public:
+  InternetSim(const topology::Topology& topo, const InternetConfig& config)
+      : topo_(&topo),
+        config_(config),
+        responsiveness_(topo, config.responsiveness),
+        flips_(config.flips) {}
+
+  const ResponsivenessModel& responsiveness() const { return responsiveness_; }
+  const FlipModel& flips() const { return flips_; }
+
+  /// Ground-truth site for a block in a round (hot-potato + flips). This
+  /// is what the paper cannot observe and we can: tests compare measured
+  /// catchments against it.
+  anycast::SiteId ground_truth_site(const bgp::RoutingTable& routes,
+                                    net::Block24 block,
+                                    std::uint32_t round) const {
+    return flips_.site_in_round(routes, block, round);
+  }
+
+  /// Injects one probe packet at `tx_time` during `round`, using `routes`
+  /// as the current BGP state. Returns every reply delivery it causes
+  /// (empty for unresponsive/unallocated targets or malformed packets).
+  std::vector<Delivery> probe(const bgp::RoutingTable& routes,
+                              std::span<const std::uint8_t> packet_bytes,
+                              util::SimTime tx_time,
+                              std::uint32_t round) const;
+
+ private:
+  double rtt_ms(net::Block24 block, anycast::SiteId site,
+                const bgp::RoutingTable& routes, std::uint64_t jitter_key)
+      const;
+
+  const topology::Topology* topo_;
+  InternetConfig config_;
+  ResponsivenessModel responsiveness_;
+  FlipModel flips_;
+};
+
+}  // namespace vp::sim

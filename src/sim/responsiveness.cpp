@@ -1,0 +1,71 @@
+#include "sim/responsiveness.hpp"
+
+#include "util/rng.hpp"
+
+namespace vp::sim {
+
+namespace {
+/// Maps a 64-bit hash to a uniform double in [0,1).
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+std::uint64_t ResponsivenessModel::block_hash(net::Block24 block,
+                                              std::uint64_t stream) const {
+  return util::hash_combine(util::hash_combine(config_.seed, stream),
+                            block.index());
+}
+
+bool ResponsivenessModel::ever_responds(net::Block24 block) const {
+  double rate = config_.base_responsive_rate;
+  if (const auto* info = topo_->block_info(block)) {
+    rate *= topo_->as_at(info->as_id).icmp_response_scale;
+  } else {
+    return false;  // unallocated space never replies
+  }
+  return to_unit(block_hash(block, /*stream=*/1)) < rate;
+}
+
+bool ResponsivenessModel::responds_in_round(net::Block24 block,
+                                            std::uint32_t round) const {
+  if (!ever_responds(block)) return false;
+  const std::uint64_t h =
+      util::hash_combine(block_hash(block, /*stream=*/2), round);
+  return to_unit(h) >= config_.round_down_rate;
+}
+
+ReplyBehavior ResponsivenessModel::behavior(net::Block24 block,
+                                            std::uint32_t round) const {
+  ReplyBehavior out;
+  out.responds = responds_in_round(block, round);
+  if (!out.responds) return out;
+  const std::uint64_t h =
+      util::hash_combine(block_hash(block, /*stream=*/3), round);
+  // Slice independent uniforms out of one hash chain.
+  util::Rng rng{h};
+  if (rng.chance(config_.heavy_duplicate_rate)) {
+    out.copies = static_cast<std::uint8_t>(8 + rng.below(56));
+  } else if (rng.chance(config_.duplicate_rate)) {
+    out.copies = 2;
+  }
+  out.alias = rng.chance(config_.alias_rate);
+  out.late = rng.chance(config_.late_rate);
+  return out;
+}
+
+std::uint8_t ResponsivenessModel::responsive_host(net::Block24 block) const {
+  // Hosts cluster at low addresses; 1 + hash%250 avoids .0 and .255.
+  return static_cast<std::uint8_t>(
+      1 + block_hash(block, /*stream=*/4) % 250);
+}
+
+bool ResponsivenessModel::is_live_host(net::Block24 block,
+                                       std::uint8_t host) const {
+  if (host == responsive_host(block)) return true;
+  const std::uint64_t h =
+      util::hash_combine(block_hash(block, /*stream=*/5), host);
+  return to_unit(h) < config_.secondary_live_rate;
+}
+
+}  // namespace vp::sim

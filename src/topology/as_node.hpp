@@ -1,0 +1,122 @@
+// AS-level entities of the simulated Internet.
+//
+// The catchment phenomena the paper studies are all products of
+// inter-domain routing structure, so the model keeps exactly the features
+// that produce them: business relationships (Gao-Rexford valley-free
+// routing), multi-PoP ASes with hot-potato egress selection (intra-AS
+// catchment divisions, §6.2), per-AS prefix announcements of varying size
+// (Figures 7-8), and load-balanced ASes whose equal-cost paths flap
+// (§6.3, Table 7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/world.hpp"
+#include "net/ipv4.hpp"
+
+namespace vp::topology {
+
+/// Dense index of an AS within a Topology (not the ASN).
+using AsId = std::uint32_t;
+inline constexpr AsId kNoAs = 0xffffffff;
+
+/// A real-world-style autonomous system number.
+struct AsNumber {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const AsNumber&) const = default;
+};
+
+/// Role of an AS in the generated hierarchy.
+enum class AsTier : std::uint8_t {
+  kTransit,   // global tier-1-like backbone, many PoPs, peer clique
+  kRegional,  // national/regional ISP, a few PoPs, has transit providers
+  kStub,      // edge network, single PoP
+};
+
+std::string_view to_string(AsTier tier);
+
+/// What the *neighbor* is to this AS on a link.
+enum class Relationship : std::uint8_t {
+  kCustomer,  // neighbor pays us
+  kPeer,      // settlement-free
+  kProvider,  // we pay neighbor
+};
+
+std::string_view to_string(Relationship rel);
+
+/// A point of presence: where an AS attaches to the world.
+struct Pop {
+  std::uint16_t center_id = 0;  // index into geo::world_centers()
+  geo::LatLon location;
+};
+
+/// A relationship edge to a neighboring AS, with the PoPs at which the
+/// two ASes interconnect (needed for hot-potato egress distance).
+struct Link {
+  AsId neighbor = kNoAs;
+  Relationship rel = Relationship::kPeer;
+  std::uint16_t local_pop = 0;   // PoP index within this AS
+  std::uint16_t remote_pop = 0;  // PoP index within the neighbor
+  /// Extra BGP local-pref applied by *this* AS to routes learned over
+  /// this link (traffic-engineering communities; overrides path length
+  /// within the same relationship class, as real local-pref does).
+  std::int8_t local_pref_bonus = 0;
+};
+
+/// One autonomous system.
+struct AsNode {
+  AsNumber asn;
+  AsTier tier = AsTier::kStub;
+  std::string name;
+  std::vector<Pop> pops;
+  std::vector<Link> links;
+
+  /// Index range of this AS's announced prefixes in
+  /// Topology::announced_prefixes().
+  std::uint32_t first_prefix = 0;
+  std::uint32_t prefix_count = 0;
+
+  /// Index range of this AS's /24 blocks in Topology::blocks().
+  std::uint32_t first_block = 0;
+  std::uint32_t block_count = 0;
+
+  /// True for ASes with load-balanced multipath toward the anycast
+  /// prefix; their blocks may flip between equally good sites between
+  /// measurement rounds (the Chinanet effect, Table 7).
+  bool load_balanced = false;
+
+  /// Multiplier on the flappy-block rate for this AS (how aggressively
+  /// its load balancing re-hashes flows). Chinanet's per-flow balancing
+  /// makes it the paper's dominant flipper at ~13x the next AS.
+  double flap_scale = 1.0;
+
+  /// BGP multipath: when this AS holds equally good routes to different
+  /// sites, it spreads traffic across them by flow hash, so different
+  /// blocks of the same AS *stably* reach different sites. This — not
+  /// just multi-PoP hot-potato — is why the paper finds 12.7% of ASes
+  /// split across catchments (§6.2), including single-PoP ones.
+  bool multipath = false;
+
+  /// Multiplier on the base probability that hosts in this AS answer
+  /// pings (ICMP-filtering cultures differ by network; e.g. the paper
+  /// finds Korea heavily unmappable, Figure 4a).
+  double icmp_response_scale = 1.0;
+};
+
+/// A prefix as originated in BGP by some AS.
+struct AnnouncedPrefix {
+  net::Prefix prefix;
+  AsId origin = kNoAs;
+};
+
+/// Per-/24-block ownership record.
+struct BlockInfo {
+  net::Block24 block;
+  AsId as_id = kNoAs;
+  std::uint16_t pop = 0;            // PoP index within the owning AS
+  std::uint32_t prefix_index = 0;   // index into announced_prefixes()
+};
+
+}  // namespace vp::topology

@@ -1,0 +1,106 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vp::topology {
+
+std::string_view to_string(AsTier tier) {
+  switch (tier) {
+    case AsTier::kTransit: return "transit";
+    case AsTier::kRegional: return "regional";
+    case AsTier::kStub: return "stub";
+  }
+  return "?";
+}
+
+std::string_view to_string(Relationship rel) {
+  switch (rel) {
+    case Relationship::kCustomer: return "customer";
+    case Relationship::kPeer: return "peer";
+    case Relationship::kProvider: return "provider";
+  }
+  return "?";
+}
+
+AsId Topology::find_as(AsNumber asn) const {
+  const auto it = by_asn_.find(asn.value);
+  return it == by_asn_.end() ? kNoAs : it->second;
+}
+
+const BlockInfo* Topology::block_info(net::Block24 block) const {
+  const auto it = block_index_.find(block);
+  return it == block_index_.end() ? nullptr : &blocks_[it->second];
+}
+
+AsId Topology::add_as(AsNode node) {
+  const auto id = static_cast<AsId>(ases_.size());
+  by_asn_.emplace(node.asn.value, id);
+  node.first_prefix = 0;
+  node.prefix_count = 0;
+  node.first_block = 0;
+  node.block_count = 0;
+  ases_.push_back(std::move(node));
+  return id;
+}
+
+void Topology::link(AsId lower, std::uint16_t lower_pop, AsId upper,
+                    std::uint16_t upper_pop,
+                    Relationship lower_sees_upper_as) {
+  assert(lower < ases_.size() && upper < ases_.size());
+  // Refuse duplicate edges between the same AS pair.
+  for (const Link& l : ases_[lower].links)
+    if (l.neighbor == upper) return;
+  ases_[lower].links.push_back(
+      Link{upper, lower_sees_upper_as, lower_pop, upper_pop});
+  const Relationship reciprocal =
+      lower_sees_upper_as == Relationship::kProvider ? Relationship::kCustomer
+      : lower_sees_upper_as == Relationship::kCustomer
+          ? Relationship::kProvider
+          : Relationship::kPeer;
+  ases_[upper].links.push_back(Link{lower, reciprocal, upper_pop, lower_pop});
+}
+
+void Topology::set_local_pref_bonus(AsId from, AsId to, std::int8_t bonus) {
+  for (Link& l : ases_[from].links) {
+    if (l.neighbor == to) {
+      l.local_pref_bonus = bonus;
+      return;
+    }
+  }
+}
+
+std::uint32_t Topology::announce(AsId as_id, net::Prefix prefix) {
+  const auto index = static_cast<std::uint32_t>(prefixes_.size());
+  prefixes_.push_back(AnnouncedPrefix{prefix, as_id});
+  trie_.insert(prefix, index);
+  AsNode& node = ases_[as_id];
+  if (node.prefix_count == 0) node.first_prefix = index;
+  ++node.prefix_count;
+  return index;
+}
+
+void Topology::add_block(net::Block24 block, AsId as_id, std::uint16_t pop,
+                         std::uint32_t prefix_index) {
+  const auto index = static_cast<std::uint32_t>(blocks_.size());
+  blocks_.push_back(BlockInfo{block, as_id, pop, prefix_index});
+  block_index_.emplace(block, index);
+  AsNode& node = ases_[as_id];
+  if (node.block_count == 0) node.first_block = index;
+  ++node.block_count;
+}
+
+void Topology::seal() {
+  // Generation appends prefixes and blocks per-AS contiguously, so the
+  // first/count ranges recorded by announce()/add_block() are already
+  // consistent; just sanity-check in debug builds.
+#ifndef NDEBUG
+  for (const AsNode& node : ases_) {
+    for (std::uint32_t i = 0; i < node.block_count; ++i)
+      assert(blocks_[node.first_block + i].as_id ==
+             static_cast<AsId>(&node - ases_.data()));
+  }
+#endif
+}
+
+}  // namespace vp::topology

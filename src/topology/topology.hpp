@@ -1,0 +1,79 @@
+// The assembled simulated Internet: ASes, links, prefixes, blocks, geo.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geodb.hpp"
+#include "net/prefix_trie.hpp"
+#include "topology/as_node.hpp"
+
+namespace vp::topology {
+
+class Topology {
+ public:
+  // --- read API -----------------------------------------------------------
+  std::size_t as_count() const { return ases_.size(); }
+  const AsNode& as_at(AsId id) const { return ases_[id]; }
+  std::span<const AsNode> ases() const { return ases_; }
+
+  /// Looks up an AS by its number; kNoAs if absent.
+  AsId find_as(AsNumber asn) const;
+
+  std::span<const AnnouncedPrefix> announced_prefixes() const {
+    return prefixes_;
+  }
+  std::span<const BlockInfo> blocks() const { return blocks_; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+  /// Ownership record for a block; nullptr if the block is unallocated.
+  const BlockInfo* block_info(net::Block24 block) const;
+
+  /// Longest-prefix-match against announced prefixes.
+  std::optional<std::pair<net::Prefix, std::uint32_t>> route_lookup(
+      net::Ipv4Address addr) const {
+    return trie_.lookup(addr);
+  }
+
+  const geo::GeoDatabase& geodb() const { return geodb_; }
+
+  // --- build API (used by the generator) -----------------------------------
+  AsId add_as(AsNode node);
+  AsNode& as_mutable(AsId id) { return ases_[id]; }
+
+  /// Records a bidirectional relationship: `upper` is `lower`'s provider
+  /// (or a symmetric peering when rel == kPeer).
+  void link(AsId lower, std::uint16_t lower_pop, AsId upper,
+            std::uint16_t upper_pop, Relationship lower_sees_upper_as);
+
+  /// Sets the local-pref bonus `from` applies to routes learned from `to`.
+  /// No-op if the link does not exist.
+  void set_local_pref_bonus(AsId from, AsId to, std::int8_t bonus);
+
+  /// Registers an announced prefix and its member blocks for `as_id`,
+  /// distributing blocks across the AS's PoPs. Returns the prefix index.
+  std::uint32_t announce(AsId as_id, net::Prefix prefix);
+
+  /// Adds one /24 under an announced prefix, homed at `pop`.
+  void add_block(net::Block24 block, AsId as_id, std::uint16_t pop,
+                 std::uint32_t prefix_index);
+
+  geo::GeoDatabase& geodb_mutable() { return geodb_; }
+
+  /// Finalizes derived indexes after generation.
+  void seal();
+
+ private:
+  std::vector<AsNode> ases_;
+  std::vector<AnnouncedPrefix> prefixes_;
+  std::vector<BlockInfo> blocks_;
+  std::unordered_map<std::uint32_t, AsId> by_asn_;
+  std::unordered_map<net::Block24, std::uint32_t> block_index_;
+  net::PrefixTrie<std::uint32_t> trie_;  // prefix -> index in prefixes_
+  geo::GeoDatabase geodb_;
+};
+
+}  // namespace vp::topology

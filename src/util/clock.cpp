@@ -1,0 +1,19 @@
+#include "util/clock.hpp"
+
+#include <cstdio>
+
+namespace vp::util {
+
+std::string format_hms(SimTime t) {
+  const auto total_seconds = t.usec / 1'000'000;
+  const auto h = total_seconds / 3600;
+  const auto m = (total_seconds / 60) % 60;
+  const auto s = total_seconds % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%02lld:%02lld:%02lld",
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s));
+  return buf;
+}
+
+}  // namespace vp::util

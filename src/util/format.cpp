@@ -1,0 +1,57 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace vp::util {
+
+std::string si_count(double value) {
+  static constexpr std::array<const char*, 5> kSuffixes = {"", "k", "M", "G",
+                                                           "T"};
+  double magnitude = std::abs(value);
+  std::size_t tier = 0;
+  while (magnitude >= 1000.0 && tier + 1 < kSuffixes.size()) {
+    magnitude /= 1000.0;
+    value /= 1000.0;
+    ++tier;
+  }
+  char buf[32];
+  if (tier == 0) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  } else if (magnitude >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0f%s", value, kSuffixes[tier]);
+  } else if (magnitude >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f%s", value, kSuffixes[tier]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f%s", value, kSuffixes[tier]);
+  }
+  return buf;
+}
+
+std::string percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group)
+      out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace vp::util

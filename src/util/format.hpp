@@ -1,0 +1,23 @@
+// Human-readable number formatting matching the paper's table style
+// ("2.34G", "27.1k", "3.79M", "82.4%").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vp::util {
+
+/// Formats a count with a metric suffix: 1234 -> "1.23k", 2.2e9 -> "2.20G".
+/// Values below 1000 are printed as plain integers.
+std::string si_count(double value);
+
+/// Formats a fraction as a percentage with one decimal: 0.824 -> "82.4%".
+std::string percent(double fraction);
+
+/// Formats with a fixed number of decimals.
+std::string fixed(double value, int decimals);
+
+/// Formats an integer with thousands separators: 3786907 -> "3,786,907".
+std::string with_commas(std::uint64_t value);
+
+}  // namespace vp::util

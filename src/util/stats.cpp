@@ -1,0 +1,37 @@
+#include "util/stats.hpp"
+
+#include <cassert>
+
+namespace vp::util {
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> sample, double q) {
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, q);
+}
+
+PercentileSummary summarize(std::span<const double> sample) {
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  return PercentileSummary{
+      .p5 = percentile_sorted(copy, 5.0),
+      .p25 = percentile_sorted(copy, 25.0),
+      .p50 = percentile_sorted(copy, 50.0),
+      .p75 = percentile_sorted(copy, 75.0),
+      .p95 = percentile_sorted(copy, 95.0),
+  };
+}
+
+}  // namespace vp::util

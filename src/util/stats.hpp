@@ -1,0 +1,61 @@
+// Small statistics helpers used by the analysis and benchmark layers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vp::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample using linear interpolation between order
+/// statistics. `q` in [0, 100]. Copies the input; callers on hot paths
+/// should sort once and use `percentile_sorted`.
+double percentile(std::span<const double> sample, double q);
+
+/// Percentile of an already-sorted sample.
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Median shorthand.
+inline double median(std::span<const double> sample) {
+  return percentile(sample, 50.0);
+}
+
+/// The 5/25/50/75/95 percentile summary the paper plots in Figure 7.
+struct PercentileSummary {
+  double p5 = 0, p25 = 0, p50 = 0, p75 = 0, p95 = 0;
+};
+
+PercentileSummary summarize(std::span<const double> sample);
+
+}  // namespace vp::util

@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vp::util {
+
+Table::Table(std::vector<std::string> header, std::vector<Align> alignments)
+    : header_(std::move(header)), alignments_(std::move(alignments)) {
+  alignments_.resize(header_.size(), Align::kRight);
+  if (!alignments_.empty()) alignments_.front() = alignments_[0];
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::add_separator() {
+  rows_.emplace_back();  // sentinel
+  return *this;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto render_cell = [&](const std::string& text, std::size_t c) {
+    std::string out;
+    const std::size_t pad = widths[c] - std::min(widths[c], text.size());
+    if (alignments_[c] == Align::kRight) out.append(pad, ' ');
+    out += text;
+    if (alignments_[c] == Align::kLeft) out.append(pad, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "  " : "") << render_cell(header_[c], c);
+  os << '\n';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "  " : "") << std::string(widths[c], '-');
+  os << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) {  // separator sentinel
+      for (std::size_t c = 0; c < header_.size(); ++c)
+        os << (c ? "  " : "") << std::string(widths[c], '-');
+      os << '\n';
+      continue;
+    }
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "  " : "") << render_cell(row[c], c);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vp::util

@@ -1,0 +1,38 @@
+// Plain-text table renderer for the benchmark harnesses. Produces the
+// aligned rows the paper's tables report, e.g.:
+//
+//   method        measurement      % LAX
+//   ------------  --------------  ------
+//   Atlas         9,682 VPs        82.4%
+//   Verfploeter   3.923M /24s      87.8%
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vp::util {
+
+/// Column alignment for Table cells.
+enum class Align { kLeft, kRight };
+
+/// Minimal text table: add a header, then rows of cells; `to_string`
+/// computes column widths and renders with a dashed separator.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header,
+                 std::vector<Align> alignments = {});
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next row.
+  Table& add_separator();
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace vp::util

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.hpp"
+#include "analysis/divisions.hpp"
+#include "analysis/geomaps.hpp"
+#include "analysis/load_analysis.hpp"
+#include "analysis/stability.hpp"
+#include "core/catchment.hpp"
+
+namespace vp::analysis {
+namespace {
+
+// --- LoadSplit ----------------------------------------------------------------
+
+TEST(LoadSplit, FractionsAndTotals) {
+  LoadSplit split;
+  split.site_queries = {80.0, 20.0};
+  split.unknown_queries = 25.0;
+  EXPECT_DOUBLE_EQ(split.total(true), 125.0);
+  EXPECT_DOUBLE_EQ(split.total(false), 100.0);
+  EXPECT_DOUBLE_EQ(split.fraction_to(0), 0.8);
+  EXPECT_DOUBLE_EQ(split.fraction_to(0, true), 0.64);
+  EXPECT_DOUBLE_EQ(split.fraction_to(1), 0.2);
+  EXPECT_DOUBLE_EQ(split.fraction_to(anycast::kUnknownSite), 0.0);
+  EXPECT_DOUBLE_EQ(split.fraction_to(5), 0.0);
+}
+
+TEST(LoadSplit, EmptySplitIsZero) {
+  LoadSplit split;
+  split.site_queries = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(split.fraction_to(0), 0.0);
+}
+
+// --- stability on synthetic rounds ---------------------------------------------
+
+core::RoundResult make_round(
+    std::initializer_list<std::pair<std::uint32_t, anycast::SiteId>> entries) {
+  core::RoundResult r;
+  for (const auto& [index, site] : entries)
+    r.map.set(net::Block24{index}, site);
+  return r;
+}
+
+TEST(Stability, ClassifiesTransitions) {
+  // Minimal hand-checkable scenario: block 1 stable, block 2 flips,
+  // block 3 disappears, block 4 appears.
+  topology::Topology topo;  // empty: per-AS attribution silently skipped
+  std::vector<core::RoundResult> rounds;
+  rounds.push_back(make_round({{1, 0}, {2, 0}, {3, 1}}));
+  rounds.push_back(make_round({{1, 0}, {2, 1}, {4, 0}}));
+
+  const StabilityReport report = analyze_stability(topo, rounds);
+  ASSERT_EQ(report.transitions.size(), 1u);
+  EXPECT_EQ(report.transitions[0].stable, 1u);
+  EXPECT_EQ(report.transitions[0].flipped, 1u);
+  EXPECT_EQ(report.transitions[0].to_nr, 1u);
+  EXPECT_EQ(report.transitions[0].from_nr, 1u);
+  EXPECT_EQ(report.total_flips, 1u);
+  EXPECT_TRUE(report.unstable_blocks.contains(2u));
+  EXPECT_FALSE(report.unstable_blocks.contains(1u));
+}
+
+TEST(Stability, MediansOverRounds) {
+  topology::Topology topo;
+  std::vector<core::RoundResult> rounds;
+  rounds.push_back(make_round({{1, 0}, {2, 0}}));
+  rounds.push_back(make_round({{1, 0}, {2, 0}}));
+  rounds.push_back(make_round({{1, 0}, {2, 1}}));
+  const StabilityReport report = analyze_stability(topo, rounds);
+  ASSERT_EQ(report.transitions.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.median_stable(), 1.5);
+  EXPECT_DOUBLE_EQ(report.median_flipped(), 0.5);
+}
+
+TEST(Stability, FewerThanTwoRoundsIsEmpty) {
+  topology::Topology topo;
+  std::vector<core::RoundResult> rounds;
+  rounds.push_back(make_round({{1, 0}}));
+  const StabilityReport report = analyze_stability(topo, rounds);
+  EXPECT_TRUE(report.transitions.empty());
+  EXPECT_EQ(report.total_flips, 0u);
+}
+
+// --- divisions on a synthetic topology ------------------------------------------
+
+struct DivisionsFixture {
+  topology::Topology topo;
+  core::CatchmentMap map;
+
+  DivisionsFixture() {
+    // AS 0: two prefixes, blocks split across two sites.
+    // AS 1: one prefix, single site.
+    topology::AsNode a;
+    a.asn = topology::AsNumber{111};
+    a.pops.push_back(topology::Pop{0, {0, 0}});
+    const auto a_id = topo.add_as(std::move(a));
+    topology::AsNode b;
+    b.asn = topology::AsNumber{222};
+    b.pops.push_back(topology::Pop{0, {0, 0}});
+    const auto b_id = topo.add_as(std::move(b));
+
+    const auto p0 = topo.announce(a_id, *net::Prefix::parse("1.0.0.0/23"));
+    const auto p1 = topo.announce(a_id, *net::Prefix::parse("1.0.2.0/24"));
+    const auto p2 = topo.announce(b_id, *net::Prefix::parse("2.0.0.0/24"));
+    topo.add_block(net::Block24{0x010000}, a_id, 0, p0);
+    topo.add_block(net::Block24{0x010001}, a_id, 0, p0);
+    topo.add_block(net::Block24{0x010002}, a_id, 0, p1);
+    topo.add_block(net::Block24{0x020000}, b_id, 0, p2);
+    topo.seal();
+
+    map.set(net::Block24{0x010000}, 0);
+    map.set(net::Block24{0x010001}, 1);  // /23 split across sites
+    map.set(net::Block24{0x010002}, 0);
+    map.set(net::Block24{0x020000}, 1);
+  }
+};
+
+TEST(Divisions, CountsMultiSiteAses) {
+  DivisionsFixture f;
+  const DivisionsReport report = analyze_divisions(f.topo, f.map);
+  EXPECT_EQ(report.ases_observed, 2u);
+  EXPECT_EQ(report.ases_multi_site, 1u);
+  EXPECT_DOUBLE_EQ(report.multi_site_fraction(), 0.5);
+  ASSERT_EQ(report.buckets.size(), 2u);
+  EXPECT_EQ(report.buckets[0].sites_seen, 1);
+  EXPECT_EQ(report.buckets[0].as_count, 1u);
+  EXPECT_EQ(report.buckets[1].sites_seen, 2);
+  // The multi-site AS announces 2 prefixes.
+  EXPECT_DOUBLE_EQ(report.buckets[1].announced_prefixes.p50, 2.0);
+}
+
+TEST(Divisions, UnstableBlocksAreExcluded) {
+  DivisionsFixture f;
+  std::unordered_set<std::uint32_t> unstable{0x010001};
+  const DivisionsReport report = analyze_divisions(f.topo, f.map, unstable);
+  EXPECT_EQ(report.ases_multi_site, 0u);
+}
+
+TEST(Divisions, PrefixSiteRows) {
+  DivisionsFixture f;
+  const auto rows = analyze_prefix_sites(f.topo, f.map);
+  ASSERT_EQ(rows.size(), 2u);  // lengths 23 and 24
+  EXPECT_EQ(rows[0].prefix_length, 23);
+  EXPECT_EQ(rows[0].prefix_count, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].fraction_by_sites[1], 1.0);  // 2 sites
+  EXPECT_DOUBLE_EQ(rows[0].mean_sites, 2.0);
+  EXPECT_EQ(rows[1].prefix_length, 24);
+  EXPECT_EQ(rows[1].prefix_count, 2u);
+  EXPECT_DOUBLE_EQ(rows[1].fraction_by_sites[0], 1.0);  // 1 site each
+}
+
+TEST(Divisions, AddressSpaceShare) {
+  DivisionsFixture f;
+  const AddressSpaceShare share = multi_vp_address_share(f.topo, f.map);
+  EXPECT_EQ(share.observed_blocks, 4u);
+  EXPECT_EQ(share.multi_site_blocks, 2u);  // the split /23's two blocks
+  EXPECT_DOUBLE_EQ(share.fraction(), 0.5);
+}
+
+// --- traffic coverage ------------------------------------------------------------
+
+TEST(TrafficCoverage, FractionsComputed) {
+  TrafficCoverage coverage;
+  coverage.blocks_seen = 100;
+  coverage.blocks_mapped = 87;
+  coverage.blocks_unmapped = 13;
+  coverage.queries_seen = 1000;
+  coverage.queries_mapped = 820;
+  coverage.queries_unmapped = 180;
+  EXPECT_DOUBLE_EQ(coverage.mapped_block_fraction(), 0.87);
+  EXPECT_DOUBLE_EQ(coverage.mapped_query_fraction(), 0.82);
+}
+
+// --- geomaps render ---------------------------------------------------------------
+
+TEST(GeoMaps, RenderSummaryProducesTables) {
+  geo::GeoBinner binner{2};
+  binner.add({51.5, -0.1}, 0, 10);
+  binner.add({35.7, 139.7}, 1, 5);
+  const std::string out =
+      render_map_summary(binner, {"LAX", "MIA"}, 5);
+  EXPECT_NE(out.find("continent"), std::string::npos);
+  EXPECT_NE(out.find("Europe"), std::string::npos);
+  EXPECT_NE(out.find("LAX"), std::string::npos);
+  EXPECT_NE(out.find("two-degree bins"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vp::analysis

@@ -1,0 +1,175 @@
+// Property tests over generated topologies: BGP invariants that must hold
+// for every AS on every seed — the valley-free export discipline, path
+// length consistency along the advertisement chain, and the sanity of
+// hot-potato/multipath resolution.
+#include <gtest/gtest.h>
+
+#include "anycast/deployment.hpp"
+#include "bgp/routing.hpp"
+#include "topology/generator.hpp"
+
+namespace vp::bgp {
+namespace {
+
+struct SweepCase {
+  std::uint64_t seed;
+  bool tangled;  // which deployment to route
+};
+
+class RoutingInvariants : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    topology::TopologyConfig config;
+    config.seed = GetParam().seed;
+    config.target_blocks = 8'000;
+    topo_ = topology::generate_topology(config);
+    deployment_ = GetParam().tangled ? anycast::make_tangled(topo_)
+                                     : anycast::make_broot(topo_);
+    routes_.emplace(compute_routes(topo_, deployment_));
+  }
+
+  topology::Topology topo_;
+  anycast::Deployment deployment_;
+  std::optional<RoutingTable> routes_;
+};
+
+TEST_P(RoutingInvariants, EveryCandidateHasAValidSite) {
+  const std::size_t site_count = deployment_.sites.size();
+  for (AsId as = 0; as < topo_.as_count(); ++as) {
+    for (const CandidateRoute& cand : routes_->state(as).candidates) {
+      ASSERT_GE(cand.site, 0);
+      ASSERT_LT(static_cast<std::size_t>(cand.site), site_count);
+      const auto& site = deployment_.sites[static_cast<std::size_t>(
+          cand.site)];
+      EXPECT_TRUE(site.enabled);
+      EXPECT_FALSE(site.hidden);
+    }
+  }
+}
+
+TEST_P(RoutingInvariants, PathLengthsChainCorrectly) {
+  // A candidate learned from neighbor N carries exactly N's best length
+  // plus one hop (N advertises its equal-best set).
+  for (AsId as = 0; as < topo_.as_count(); ++as) {
+    for (const CandidateRoute& cand : routes_->state(as).candidates) {
+      if (cand.egress_neighbor == topology::kNoAs) {
+        // Origin injection at a site upstream: 1 + prepend.
+        bool matches_site = false;
+        for (const auto& site : deployment_.sites) {
+          if (topo_.find_as(site.upstream) == as &&
+              cand.path_len == 1 + site.prepend) {
+            matches_site = true;
+          }
+        }
+        EXPECT_TRUE(matches_site) << topo_.as_at(as).name;
+        continue;
+      }
+      const auto& sender = routes_->state(cand.egress_neighbor);
+      ASSERT_TRUE(sender.reachable());
+      EXPECT_EQ(cand.path_len, sender.candidates.front().path_len + 1)
+          << topo_.as_at(as).name << " <- "
+          << topo_.as_at(cand.egress_neighbor).name;
+    }
+  }
+}
+
+TEST_P(RoutingInvariants, ExportsAreValleyFree) {
+  // Gao-Rexford: a route travels "up" (to a provider) or "sideways" (to
+  // a peer) only while it is a customer route at the sender. Receiving
+  // a customer- or peer-class candidate therefore implies the sender's
+  // own best is customer-class.
+  for (AsId as = 0; as < topo_.as_count(); ++as) {
+    for (const CandidateRoute& cand : routes_->state(as).candidates) {
+      if (cand.egress_neighbor == topology::kNoAs) continue;
+      if (cand.cls == RouteClass::kCustomer ||
+          cand.cls == RouteClass::kPeer) {
+        const auto& sender = routes_->state(cand.egress_neighbor);
+        EXPECT_EQ(sender.candidates.front().cls, RouteClass::kCustomer)
+            << "valley: " << topo_.as_at(cand.egress_neighbor).name
+            << " exported a non-customer route to "
+            << topo_.as_at(as).name;
+      }
+    }
+  }
+}
+
+TEST_P(RoutingInvariants, CandidateClassMatchesRelationship) {
+  // The class recorded for a candidate must equal the receiver's actual
+  // relationship with the sender.
+  for (AsId as = 0; as < topo_.as_count(); ++as) {
+    for (const CandidateRoute& cand : routes_->state(as).candidates) {
+      if (cand.egress_neighbor == topology::kNoAs) continue;
+      topology::Relationship rel = topology::Relationship::kPeer;
+      bool found = false;
+      for (const auto& link : topo_.as_at(as).links) {
+        if (link.neighbor == cand.egress_neighbor) {
+          rel = link.rel;
+          found = true;
+        }
+      }
+      ASSERT_TRUE(found);
+      switch (cand.cls) {
+        case RouteClass::kCustomer:
+          EXPECT_EQ(rel, topology::Relationship::kCustomer);
+          break;
+        case RouteClass::kPeer:
+          EXPECT_EQ(rel, topology::Relationship::kPeer);
+          break;
+        case RouteClass::kProvider:
+          EXPECT_EQ(rel, topology::Relationship::kProvider);
+          break;
+        case RouteClass::kNone:
+          FAIL();
+      }
+    }
+  }
+}
+
+TEST_P(RoutingInvariants, PopResolutionPicksFromCandidates) {
+  for (AsId as = 0; as < topo_.as_count(); ++as) {
+    const auto& state = routes_->state(as);
+    if (!state.reachable()) continue;
+    for (std::uint16_t p = 0; p < topo_.as_at(as).pops.size(); ++p) {
+      const SiteId site = routes_->site_for_pop(as, p);
+      bool in_candidates = false;
+      for (const CandidateRoute& cand : state.candidates)
+        in_candidates |= cand.site == site;
+      EXPECT_TRUE(in_candidates) << topo_.as_at(as).name;
+    }
+  }
+}
+
+TEST_P(RoutingInvariants, BlockSitesComeFromOwningAsCandidates) {
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < topo_.block_count(); i += 23) {
+    const auto& info = topo_.blocks()[i];
+    const SiteId site = routes_->site_for_block(info.block);
+    if (site < 0) continue;
+    bool in_candidates = false;
+    for (const CandidateRoute& cand : routes_->state(info.as_id).candidates)
+      in_candidates |= cand.site == site;
+    EXPECT_TRUE(in_candidates);
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST_P(RoutingInvariants, EgressPopsAreLocal) {
+  for (AsId as = 0; as < topo_.as_count(); ++as) {
+    for (const CandidateRoute& cand : routes_->state(as).candidates)
+      EXPECT_LT(cand.egress_pop, topo_.as_at(as).pops.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RoutingInvariants,
+    ::testing::Values(SweepCase{101, false}, SweepCase{102, false},
+                      SweepCase{103, true}, SweepCase{104, true},
+                      SweepCase{105, false}, SweepCase{106, true}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return (info.param.tangled ? "tangled_" : "broot_") +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace vp::bgp

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "analysis/scenario.hpp"
+#include "core/verfploeter.hpp"
+
+namespace vp::core {
+namespace {
+
+/// One shared small scenario; building it is the expensive part.
+class CoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    analysis::ScenarioConfig config;
+    config.seed = 77;
+    config.scale = 0.08;  // ~10k blocks
+    scenario_ = new analysis::Scenario(config);
+    routes_ = new bgp::RoutingTable(scenario_->route(scenario_->broot()));
+    ProbeConfig probe;
+    probe.measurement_id = 500;
+    round_ = new RoundResult(
+        scenario_->verfploeter().run_round(*routes_, probe, 0));
+  }
+  static void TearDownTestSuite() {
+    delete round_;
+    delete routes_;
+    delete scenario_;
+  }
+  static const analysis::Scenario& scenario() { return *scenario_; }
+  static const bgp::RoutingTable& routes() { return *routes_; }
+  static const RoundResult& round() { return *round_; }
+
+ private:
+  static analysis::Scenario* scenario_;
+  static bgp::RoutingTable* routes_;
+  static RoundResult* round_;
+};
+
+analysis::Scenario* CoreTest::scenario_ = nullptr;
+bgp::RoutingTable* CoreTest::routes_ = nullptr;
+RoundResult* CoreTest::round_ = nullptr;
+
+TEST_F(CoreTest, ProbesEveryHitlistEntryOnce) {
+  EXPECT_EQ(round().map.probes_sent, scenario().hitlist().size());
+  EXPECT_EQ(round().map.blocks_probed, scenario().hitlist().size());
+}
+
+TEST_F(CoreTest, MappedBlocksAreSubsetOfProbed) {
+  EXPECT_LE(round().map.mapped_blocks(), round().map.blocks_probed);
+  EXPECT_GT(round().map.mapped_blocks(), round().map.blocks_probed / 3);
+  for (const auto& [block, site] : round().map.entries()) {
+    EXPECT_NE(scenario().topo().block_info(block), nullptr);
+    EXPECT_GE(site, 0);
+    EXPECT_LT(site, static_cast<int>(scenario().broot().sites.size()));
+  }
+}
+
+TEST_F(CoreTest, MeasuredCatchmentsMatchGroundTruth) {
+  // The headline validation: Verfploeter discovers catchments without
+  // reading the routing table, yet agrees with it everywhere.
+  for (const auto& [block, site] : round().map.entries()) {
+    EXPECT_EQ(site,
+              scenario().internet().ground_truth_site(routes(), block, 0))
+        << block.to_string();
+  }
+}
+
+TEST_F(CoreTest, CleaningStatsAreConsistent) {
+  const CleaningStats& s = round().map.cleaning;
+  EXPECT_EQ(s.kept, round().map.mapped_blocks());
+  EXPECT_EQ(s.raw_replies, s.kept + s.dropped());
+  EXPECT_EQ(s.wrong_id, 0u);  // single round, no stale traffic
+  EXPECT_GT(s.duplicates, 0u);
+  EXPECT_GT(s.unsolicited, 0u);
+  EXPECT_GT(s.late, 0u);
+  // Duplicates are a small percentage of replies (paper: ~2%).
+  EXPECT_LT(static_cast<double>(s.duplicates),
+            0.06 * static_cast<double>(s.raw_replies));
+}
+
+TEST_F(CoreTest, RawRepliesPerSiteSumToTotal) {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t n : round().raw_replies_per_site) sum += n;
+  EXPECT_EQ(sum + round().map.cleaning.malformed,
+            round().map.cleaning.raw_replies);
+}
+
+TEST_F(CoreTest, ProbingDurationMatchesRate) {
+  // 10k pps over ~10k probes: ~1 second of virtual time.
+  const double expected =
+      static_cast<double>(round().map.probes_sent) / 10'000.0;
+  EXPECT_NEAR(round().probing_duration.seconds(), expected, expected * 0.01);
+}
+
+TEST_F(CoreTest, RoundIsDeterministic) {
+  ProbeConfig probe;
+  probe.measurement_id = 500;
+  const RoundResult again =
+      scenario().verfploeter().run_round(routes(), probe, 0);
+  EXPECT_EQ(again.map.mapped_blocks(), round().map.mapped_blocks());
+  for (const auto& [block, site] : round().map.entries())
+    EXPECT_EQ(again.map.site_of(block), site);
+}
+
+TEST_F(CoreTest, DifferentRoundsDifferSlightly) {
+  ProbeConfig probe;
+  probe.measurement_id = 501;
+  const RoundResult other =
+      scenario().verfploeter().run_round(routes(), probe, 1);
+  // Churn means the two rounds map a slightly different set.
+  std::size_t differing = 0;
+  for (const auto& [block, site] : round().map.entries())
+    if (!other.map.contains(block)) ++differing;
+  EXPECT_GT(differing, 0u);
+  EXPECT_LT(differing, round().map.mapped_blocks() / 10);
+}
+
+TEST_F(CoreTest, ExtraTargetsImproveCoverage) {
+  ProbeConfig probe;
+  probe.measurement_id = 600;
+  probe.extra_targets_per_block = 3;
+  const RoundResult retried =
+      scenario().verfploeter().run_round(routes(), probe, 0);
+  EXPECT_GT(retried.map.mapped_blocks(), round().map.mapped_blocks());
+  EXPECT_GT(retried.map.probes_sent, round().map.probes_sent * 3);
+}
+
+TEST_F(CoreTest, PerSiteCountsSumToMapped) {
+  const auto counts =
+      round().map.per_site_counts(scenario().broot().sites.size());
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : counts) sum += c;
+  EXPECT_EQ(sum, round().map.mapped_blocks());
+  EXPECT_GT(counts[0], counts[1]);  // LAX dominates
+}
+
+TEST_F(CoreTest, FractionToSitesSumsToOne) {
+  const double lax = round().map.fraction_to(0);
+  const double mia = round().map.fraction_to(1);
+  EXPECT_NEAR(lax + mia, 1.0, 1e-9);
+  EXPECT_GT(lax, 0.5);
+}
+
+TEST_F(CoreTest, CampaignProducesDistinctRounds) {
+  ProbeConfig probe;
+  probe.measurement_id = 700;
+  const auto rounds = scenario().verfploeter().campaign(
+      routes(), probe, 4, util::SimTime::from_minutes(15));
+  ASSERT_EQ(rounds.size(), 4u);
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    EXPECT_EQ(rounds[r].map.measurement_id, 700u + r);
+    EXPECT_EQ(rounds[r].started.usec,
+              util::SimTime::from_minutes(15).usec * static_cast<int>(r));
+    EXPECT_GT(rounds[r].map.mapped_blocks(), 0u);
+  }
+}
+
+TEST(Collector, CountsMalformedPackets) {
+  Collector collector{0};
+  const std::vector<std::uint8_t> garbage{0x01, 0x02, 0x03};
+  collector.receive(garbage, {});
+  EXPECT_EQ(collector.malformed(), 1u);
+  EXPECT_TRUE(collector.records().empty());
+}
+
+TEST(Collector, RecordsValidReply) {
+  net::ProbePayload payload;
+  payload.measurement_id = 9;
+  payload.tx_time_usec = 1000;
+  payload.original_target = *net::Ipv4Address::parse("1.2.3.4");
+  const auto request = net::build_echo_request(
+      *net::Ipv4Address::parse("192.0.2.1"), payload.original_target, 9, 1,
+      payload);
+  const auto ip = net::Ipv4Header::parse(request.data);
+  const auto icmp = net::IcmpEcho::parse(
+      std::span<const std::uint8_t>{request.data}.subspan(
+          net::Ipv4Header::kSize));
+  const auto reply = net::build_echo_reply(*ip, *icmp, payload.original_target);
+
+  Collector collector{1};
+  collector.receive(reply.data, util::SimTime::from_seconds(2));
+  ASSERT_EQ(collector.records().size(), 1u);
+  const ReplyRecord& record = collector.records()[0];
+  EXPECT_EQ(record.site, 1);
+  EXPECT_EQ(record.measurement_id, 9u);
+  EXPECT_EQ(record.source, payload.original_target);
+  EXPECT_EQ(record.tx_time.usec, 1000);
+  EXPECT_DOUBLE_EQ(record.arrival.seconds(), 2.0);
+}
+
+TEST(CatchmentMap, SiteOfUnknownBlock) {
+  CatchmentMap map;
+  EXPECT_EQ(map.site_of(net::Block24{1}), anycast::kUnknownSite);
+  map.set(net::Block24{1}, 0);
+  EXPECT_EQ(map.site_of(net::Block24{1}), 0);
+  EXPECT_TRUE(map.contains(net::Block24{1}));
+  // First write wins (duplicate replies never overwrite).
+  map.set(net::Block24{1}, 1);
+  EXPECT_EQ(map.site_of(net::Block24{1}), 0);
+}
+
+}  // namespace
+}  // namespace vp::core

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/scenario.hpp"
+#include "core/dataset_io.hpp"
+
+namespace vp::core {
+namespace {
+
+anycast::Deployment test_deployment() {
+  topology::Topology empty;
+  return anycast::make_broot(empty);
+}
+
+RoundResult small_round() {
+  RoundResult round;
+  round.map.set(net::Block24{0x010203}, 0);
+  round.map.set(net::Block24{0x010204}, 1);
+  round.map.set(net::Block24{0x0a0b0c}, 0);
+  round.rtt_ms.emplace(net::Block24{0x010203}, 12.34f);
+  round.rtt_ms.emplace(net::Block24{0x010204}, 256.5f);
+  round.rtt_ms.emplace(net::Block24{0x0a0b0c}, 99.99f);
+  return round;
+}
+
+TEST(DatasetIo, CatchmentCsvRoundTrip) {
+  const auto deployment = test_deployment();
+  const RoundResult round = small_round();
+  std::stringstream stream;
+  write_catchment_csv(stream, round, deployment);
+
+  const auto loaded = read_catchment_csv(stream, deployment);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->map.mapped_blocks(), round.map.mapped_blocks());
+  for (const auto& [block, site] : round.map.entries()) {
+    EXPECT_EQ(loaded->map.site_of(block), site);
+    ASSERT_TRUE(loaded->rtt_ms.count(block));
+    EXPECT_NEAR(loaded->rtt_ms.at(block), round.rtt_ms.at(block), 0.01);
+  }
+}
+
+TEST(DatasetIo, CatchmentCsvIsSortedAndStable) {
+  const auto deployment = test_deployment();
+  std::stringstream a, b;
+  write_catchment_csv(a, small_round(), deployment);
+  write_catchment_csv(b, small_round(), deployment);
+  EXPECT_EQ(a.str(), b.str());
+  // Sorted by block: 1.2.3.0 before 1.2.4.0 before 10.11.12.0.
+  const std::string text = a.str();
+  EXPECT_LT(text.find("1.2.3.0/24"), text.find("1.2.4.0/24"));
+  EXPECT_LT(text.find("1.2.4.0/24"), text.find("10.11.12.0/24"));
+}
+
+TEST(DatasetIo, CatchmentRejectsMalformedInput) {
+  const auto deployment = test_deployment();
+  const auto reject = [&](const std::string& text) {
+    std::stringstream stream{text};
+    EXPECT_FALSE(read_catchment_csv(stream, deployment)) << text;
+  };
+  reject("");                                      // no header
+  reject("wrong,header,row\n");                    // bad header
+  reject("block,site,rtt_ms\n1.2.3.0/24,LAX\n");   // missing field
+  reject("block,site,rtt_ms\n1.2.3.0/24,XXX,1\n"); // unknown site
+  reject("block,site,rtt_ms\nnot-a-prefix,LAX,1\n");
+  reject("block,site,rtt_ms\n1.2.0.0/16,LAX,1\n");  // not a /24
+  reject("block,site,rtt_ms\n1.2.3.0/24,LAX,-5\n"); // negative RTT
+  reject("block,site,rtt_ms\n1.2.3.0/24,LAX,abc\n");
+  reject(
+      "block,site,rtt_ms\n1.2.3.0/24,LAX,1\n1.2.3.0/24,MIA,2\n");  // dup
+}
+
+TEST(DatasetIo, LoadCsvRoundTrip) {
+  analysis::ScenarioConfig config;
+  config.scale = 0.03;
+  const analysis::Scenario scenario{config};
+  const auto load = scenario.broot_load(1);
+
+  std::stringstream stream;
+  write_load_csv(stream, load);
+  const auto dataset = read_load_csv(stream);
+  ASSERT_TRUE(dataset);
+  ASSERT_EQ(dataset->blocks.size(), load.blocks().size());
+  EXPECT_NEAR(dataset->total_daily_queries, load.total_daily_queries(),
+              load.total_daily_queries() * 1e-4);
+  for (std::size_t i = 0; i < dataset->blocks.size(); i += 13) {
+    EXPECT_EQ(dataset->blocks[i].block, load.blocks()[i].block);
+    EXPECT_NEAR(dataset->blocks[i].daily_queries,
+                load.blocks()[i].daily_queries,
+                load.blocks()[i].daily_queries * 1e-4 + 1e-9);
+  }
+}
+
+TEST(DatasetIo, LoadCsvRejectsMalformed) {
+  const auto reject = [&](const std::string& text) {
+    std::stringstream stream{text};
+    EXPECT_FALSE(read_load_csv(stream)) << text;
+  };
+  reject("");
+  reject("block,daily_queries,good_fraction\n1.2.3.0/24,-1,0.5\n");
+  reject("block,daily_queries,good_fraction\n1.2.3.0/24,10,1.5\n");
+  reject("block,daily_queries,good_fraction\n1.2.3.0/24,10\n");
+}
+
+TEST(DatasetIo, FileRoundTrip) {
+  const auto deployment = test_deployment();
+  const RoundResult round = small_round();
+  const std::string path = "/tmp/vp_dataset_io_test.csv";
+  ASSERT_TRUE(save_catchment(path, round, deployment));
+  const auto loaded = load_catchment(path, deployment);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->map.mapped_blocks(), 3u);
+  EXPECT_FALSE(load_catchment("/nonexistent/nope.csv", deployment));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, MeasuredRoundSurvivesExportImport) {
+  analysis::ScenarioConfig config;
+  config.scale = 0.03;
+  const analysis::Scenario scenario{config};
+  const auto routes = scenario.route(scenario.broot());
+  ProbeConfig probe;
+  probe.measurement_id = 50;
+  const auto round = scenario.verfploeter().run_round(routes, probe, 0);
+
+  std::stringstream stream;
+  write_catchment_csv(stream, round, scenario.broot());
+  const auto loaded = read_catchment_csv(stream, scenario.broot());
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->map.mapped_blocks(), round.map.mapped_blocks());
+  EXPECT_NEAR(loaded->map.fraction_to(0), round.map.fraction_to(0), 1e-9);
+}
+
+}  // namespace
+}  // namespace vp::core

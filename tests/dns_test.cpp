@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "anycast/deployment.hpp"
+#include "atlas/atlas.hpp"
+#include "dns/message.hpp"
+#include "util/rng.hpp"
+
+namespace vp::dns {
+namespace {
+
+// --- names -------------------------------------------------------------------
+
+TEST(Name, EncodeParseRoundTrip) {
+  const Name name{"hostname.bind"};
+  std::vector<std::uint8_t> wire;
+  ASSERT_TRUE(name.encode(wire));
+  // 8"hostname" 4"bind" 0
+  ASSERT_EQ(wire.size(), 1 + 8 + 1 + 4 + 1u);
+  EXPECT_EQ(wire[0], 8);
+  EXPECT_EQ(wire[9], 4);
+  EXPECT_EQ(wire.back(), 0);
+
+  std::size_t offset = 0;
+  const auto parsed = Name::parse(wire, offset);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->text(), "hostname.bind");
+  EXPECT_EQ(offset, wire.size());
+}
+
+TEST(Name, EncodeRejectsBadLabels) {
+  std::vector<std::uint8_t> wire;
+  EXPECT_FALSE(Name{"a..b"}.encode(wire));
+  EXPECT_FALSE(Name{std::string(64, 'x') + ".com"}.encode(wire));
+  EXPECT_TRUE(Name{std::string(63, 'x') + ".com"}.encode(wire));
+}
+
+TEST(Name, ParseRejectsTruncation) {
+  std::vector<std::uint8_t> wire;
+  ASSERT_TRUE(Name{"example.com"}.encode(wire));
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    std::size_t offset = 0;
+    EXPECT_FALSE(Name::parse(
+        std::span<const std::uint8_t>{wire.data(), len}, offset))
+        << "accepted truncated name of " << len << " bytes";
+  }
+}
+
+TEST(Name, ParseFollowsCompressionPointer) {
+  // "bind" at offset 0, then a name "host" + pointer to offset 0.
+  std::vector<std::uint8_t> wire{4, 'b', 'i', 'n', 'd', 0,
+                                 4, 'h', 'o', 's', 't', 0xc0, 0x00};
+  std::size_t offset = 6;
+  const auto parsed = Name::parse(wire, offset);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->text(), "host.bind");
+  EXPECT_EQ(offset, wire.size());
+}
+
+TEST(Name, ParseRejectsPointerLoops) {
+  // Pointer pointing at itself.
+  std::vector<std::uint8_t> wire{0xc0, 0x00};
+  std::size_t offset = 0;
+  EXPECT_FALSE(Name::parse(wire, offset));
+  // Forward pointer (not allowed: must point backwards).
+  std::vector<std::uint8_t> forward{0xc0, 0x02, 4, 'b', 'i', 'n', 'd', 0};
+  offset = 0;
+  EXPECT_FALSE(Name::parse(forward, offset));
+}
+
+TEST(Name, CaseInsensitiveEquality) {
+  EXPECT_TRUE(Name{"HOSTNAME.BIND"}.equals_ignore_case(Name{"hostname.bind"}));
+  EXPECT_FALSE(Name{"hostname.bind"}.equals_ignore_case(Name{"version.bind"}));
+}
+
+// --- records -------------------------------------------------------------------
+
+TEST(ResourceRecord, TxtRoundTrip) {
+  const auto rdata = ResourceRecord::txt_rdata("b1.lax.root");
+  const auto text = ResourceRecord::txt_text(rdata);
+  ASSERT_TRUE(text);
+  EXPECT_EQ(*text, "b1.lax.root");
+}
+
+TEST(ResourceRecord, TxtRejectsMalformed) {
+  EXPECT_FALSE(ResourceRecord::txt_text({}));
+  const std::vector<std::uint8_t> overlong{10, 'a', 'b'};
+  EXPECT_FALSE(ResourceRecord::txt_text(overlong));
+}
+
+// --- messages --------------------------------------------------------------------
+
+TEST(Message, QueryRoundTrip) {
+  const Message query = make_hostname_bind_query(0xbeef);
+  const auto wire = query.serialize();
+  ASSERT_TRUE(wire);
+  const auto parsed = Message::parse(*wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->id, 0xbeef);
+  EXPECT_FALSE(parsed->is_response);
+  ASSERT_EQ(parsed->questions.size(), 1u);
+  EXPECT_EQ(parsed->questions[0].name.text(), "hostname.bind");
+  EXPECT_EQ(parsed->questions[0].type, Type::kTxt);
+  EXPECT_EQ(parsed->questions[0].cls, Class::kChaos);
+  EXPECT_TRUE(parsed->answers.empty());
+}
+
+TEST(Message, HostnameBindExchange) {
+  const Message query = make_hostname_bind_query(7);
+  const Message response = make_hostname_bind_response(query, "b1.mia.root");
+  EXPECT_TRUE(response.is_response);
+  EXPECT_TRUE(response.authoritative);
+  EXPECT_EQ(response.id, 7);
+
+  const auto wire = response.serialize();
+  ASSERT_TRUE(wire);
+  const auto parsed = Message::parse(*wire);
+  ASSERT_TRUE(parsed);
+  const auto hostname = parse_hostname_bind_response(*parsed);
+  ASSERT_TRUE(hostname);
+  EXPECT_EQ(*hostname, "b1.mia.root");
+}
+
+TEST(Message, WrongQuestionIsRefused) {
+  Message query;
+  query.id = 9;
+  query.questions.push_back(
+      Question{Name{"version.bind"}, Type::kTxt, Class::kChaos});
+  const Message response = make_hostname_bind_response(query, "b1.lax.root");
+  EXPECT_EQ(response.rcode, RCode::kRefused);
+  EXPECT_TRUE(response.answers.empty());
+  EXPECT_FALSE(parse_hostname_bind_response(response));
+}
+
+TEST(Message, InQueryForHostnameBindIsAlsoRefused) {
+  Message query;
+  query.id = 9;
+  query.questions.push_back(
+      Question{Name{"hostname.bind"}, Type::kTxt, Class::kIn});
+  EXPECT_EQ(make_hostname_bind_response(query, "x").rcode, RCode::kRefused);
+}
+
+TEST(Message, ParseRejectsTruncationEverywhere) {
+  const Message response = make_hostname_bind_response(
+      make_hostname_bind_query(1), "b1.lax.root");
+  const auto wire = response.serialize();
+  ASSERT_TRUE(wire);
+  for (std::size_t len = 0; len < wire->size(); ++len) {
+    EXPECT_FALSE(
+        Message::parse(std::span<const std::uint8_t>{wire->data(), len}))
+        << "accepted truncated message of " << len << " bytes";
+  }
+}
+
+TEST(Message, ParseIsRobustToFuzz) {
+  // No crashes, no acceptance of obviously broken random buffers with
+  // impossible section counts.
+  util::Rng rng{99};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    Message::parse(junk);  // must not crash
+  }
+}
+
+// --- the full Atlas exchange -------------------------------------------------------
+
+TEST(HostnameBind, ResolvesEverySiteOfTangled) {
+  // Build the deployment presets without a topology (locations only).
+  topology::Topology empty;
+  // make_tangled only uses world geography, not the topology.
+  const anycast::Deployment tangled = anycast::make_tangled(empty);
+  for (std::size_t s = 0; s < tangled.sites.size(); ++s) {
+    const auto resolved = atlas::resolve_site_via_dns(
+        tangled, static_cast<anycast::SiteId>(s), 42);
+    EXPECT_EQ(resolved, static_cast<anycast::SiteId>(s))
+        << tangled.sites[s].code;
+  }
+  EXPECT_EQ(atlas::resolve_site_via_dns(tangled, anycast::kUnknownSite, 1),
+            anycast::kUnknownSite);
+}
+
+}  // namespace
+}  // namespace vp::dns

@@ -1,0 +1,19 @@
+#include <cstdio>
+#include <cstdlib>
+#include "analysis/scenario.hpp"
+using namespace vp;
+int main() {
+  analysis::ScenarioConfig config; config.scale = 0.5;
+  analysis::Scenario sc{config};
+  for (auto dep : {&sc.tangled(), &sc.broot()}) {
+    auto routes = sc.route(*dep);
+    printf("== %s ==\n", dep->name.c_str());
+    for (unsigned asn : {4134u, 7922u, 6983u, 37963u}) {
+      auto id = sc.topo().find_as(topology::AsNumber{asn});
+      const auto& st = routes.state(id);
+      printf("AS%-6u cand=%zu sites:", asn, st.candidates.size());
+      for (const auto& c : st.candidates) printf(" %d(len%d,b%d)", (int)c.site, c.path_len, c.local_pref_bonus);
+      printf(" multi=%d\n", st.multi_site());
+    }
+  }
+}

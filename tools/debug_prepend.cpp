@@ -1,0 +1,31 @@
+#include <cstdio>
+#include "analysis/scenario.hpp"
+#include "analysis/divisions.hpp"
+using namespace vp;
+int main() {
+  analysis::ScenarioConfig config; config.scale = 0.25;
+  analysis::Scenario sc{config};
+  struct Cfg { const char* label; const char* site; int n; };
+  const Cfg cfgs[] = {{"+1 LAX","LAX",1},{"equal","LAX",0},{"+1 MIA","MIA",1},{"+2 MIA","MIA",2},{"+3 MIA","MIA",3}};
+  for (const auto& c : cfgs) {
+    auto dep = sc.broot().with_prepend(c.site, c.n);
+    auto routes = sc.route(dep, analysis::kAprilEpoch);
+    core::ProbeConfig probe;
+    auto r = sc.verfploeter().run_round(routes, probe, 0);
+    printf("%-7s frac LAX = %.3f (mapped %zu)\n", c.label, r.map.fraction_to(0), r.map.mapped_blocks());
+  }
+  // Tangled
+  auto routes = sc.route(sc.tangled());
+  core::ProbeConfig probe;
+  auto r = sc.verfploeter().run_round(routes, probe, 0);
+  auto counts = r.map.per_site_counts(sc.tangled().sites.size());
+  printf("\nTangled:\n");
+  for (size_t s = 0; s < counts.size(); ++s)
+    printf("  %-4s %6llu (%.1f%%)\n", sc.tangled().sites[s].code.c_str(),
+           (unsigned long long)counts[s], 100.0*counts[s]/r.map.mapped_blocks());
+  // multi-site ASes in tangled map
+  auto report = analysis::analyze_divisions(sc.topo(), r.map);
+  printf("  ases observed %llu multi-site %llu (%.1f%%)\n",
+         (unsigned long long)report.ases_observed,
+         (unsigned long long)report.ases_multi_site, 100*report.multi_site_fraction());
+}

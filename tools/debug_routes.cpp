@@ -1,0 +1,24 @@
+#include <cstdio>
+#include <cstdlib>
+#include "analysis/scenario.hpp"
+using namespace vp;
+int main() {
+  analysis::ScenarioConfig config;
+  config.scale = (getenv("DBG_SCALE") ? atof(getenv("DBG_SCALE")) : 0.25);
+  analysis::Scenario scenario{config};
+  const auto& topo = scenario.topo();
+  const auto routes = scenario.route(scenario.broot());
+  int multi = 0;
+  for (topology::AsId a = 0; a < topo.as_count(); ++a) {
+    const auto& node = topo.as_at(a);
+    const auto& st = routes.state(a);
+    if (node.tier != topology::AsTier::kTransit && node.asn.value > 50000) continue;
+    if (!st.reachable()) { printf("%-16s unreachable\n", node.name.c_str()); continue; }
+    printf("%-16s tier=%d cand=%zu best site=%d len=%d cls=%d multi=%d\n",
+      node.name.c_str(), (int)node.tier, st.candidates.size(),
+      (int)st.best().site, st.best().path_len, (int)st.best().cls, st.multi_site());
+  }
+  for (topology::AsId a = 0; a < topo.as_count(); ++a)
+    if (routes.state(a).multi_site()) multi++;
+  printf("multi-site ASes: %d of %zu\n", multi, topo.as_count());
+}

@@ -1,0 +1,28 @@
+#include <cstdio>
+#include <algorithm>
+#include <map>
+#include <vector>
+#include <string>
+#include "analysis/scenario.hpp"
+#include "core/verfploeter.hpp"
+using namespace vp;
+int main() {
+  analysis::Scenario sc{analysis::ScenarioConfig{42, 1.0}};
+  auto routes = sc.route(sc.broot(), analysis::kAprilEpoch);
+  core::ProbeConfig probe; probe.measurement_id = 412;
+  auto map = sc.verfploeter().run_round(routes, probe, 0).map;
+  auto load = sc.broot_load(0x20170412);
+  std::map<std::string,double> unk; double total=0;
+  std::map<std::string,double> unk_dark;
+  for (auto& bl : load.blocks()) {
+    if (map.contains(bl.block)) continue;
+    auto g = sc.topo().geodb().lookup(bl.block);
+    std::string c = g ? std::string(g->country,2) : "??";
+    unk[c]+=bl.daily_queries; total+=bl.daily_queries;
+    if (!sc.internet().responsiveness().ever_responds(bl.block)) unk_dark[c]+=bl.daily_queries;
+  }
+  std::vector<std::pair<double,std::string>> v;
+  for (auto& [c,q]:unk) v.push_back({q,c});
+  std::sort(v.rbegin(), v.rend());
+  for (size_t i=0;i<v.size()&&i<12;i++) printf("%s %5.1f%%  (dark %4.1f%%)\n", v[i].second.c_str(), 100*v[i].first/total, 100*unk_dark[v[i].second]/total);
+}
