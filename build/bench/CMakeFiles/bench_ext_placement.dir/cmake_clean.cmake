@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_placement.dir/bench_ext_placement.cpp.o"
+  "CMakeFiles/bench_ext_placement.dir/bench_ext_placement.cpp.o.d"
+  "bench_ext_placement"
+  "bench_ext_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

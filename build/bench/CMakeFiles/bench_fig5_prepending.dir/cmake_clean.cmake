@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_prepending.dir/bench_fig5_prepending.cpp.o"
+  "CMakeFiles/bench_fig5_prepending.dir/bench_fig5_prepending.cpp.o.d"
+  "bench_fig5_prepending"
+  "bench_fig5_prepending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_prepending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

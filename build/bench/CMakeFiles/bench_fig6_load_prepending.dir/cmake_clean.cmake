@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_load_prepending.dir/bench_fig6_load_prepending.cpp.o"
+  "CMakeFiles/bench_fig6_load_prepending.dir/bench_fig6_load_prepending.cpp.o.d"
+  "bench_fig6_load_prepending"
+  "bench_fig6_load_prepending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_load_prepending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

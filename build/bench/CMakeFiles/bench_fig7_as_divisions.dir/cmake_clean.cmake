@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_as_divisions.dir/bench_fig7_as_divisions.cpp.o"
+  "CMakeFiles/bench_fig7_as_divisions.dir/bench_fig7_as_divisions.cpp.o.d"
+  "bench_fig7_as_divisions"
+  "bench_fig7_as_divisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_as_divisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_prefix_sites.dir/bench_fig8_prefix_sites.cpp.o"
+  "CMakeFiles/bench_fig8_prefix_sites.dir/bench_fig8_prefix_sites.cpp.o.d"
+  "bench_fig8_prefix_sites"
+  "bench_fig8_prefix_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_prefix_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_pct_lax.dir/bench_table6_pct_lax.cpp.o"
+  "CMakeFiles/bench_table6_pct_lax.dir/bench_table6_pct_lax.cpp.o.d"
+  "bench_table6_pct_lax"
+  "bench_table6_pct_lax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_pct_lax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

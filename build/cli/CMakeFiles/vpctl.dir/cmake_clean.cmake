@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpctl.dir/vpctl.cpp.o"
+  "CMakeFiles/vpctl.dir/vpctl.cpp.o.d"
+  "vpctl"
+  "vpctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broot_prepending.dir/broot_prepending.cpp.o"
+  "CMakeFiles/broot_prepending.dir/broot_prepending.cpp.o.d"
+  "broot_prepending"
+  "broot_prepending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broot_prepending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_chinanet.dir/__/tools/debug_chinanet.cpp.o"
+  "CMakeFiles/debug_chinanet.dir/__/tools/debug_chinanet.cpp.o.d"
+  "debug_chinanet"
+  "debug_chinanet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_chinanet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_prepend.dir/__/tools/debug_prepend.cpp.o"
+  "CMakeFiles/debug_prepend.dir/__/tools/debug_prepend.cpp.o.d"
+  "debug_prepend"
+  "debug_prepend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_prepend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_routes.dir/__/tools/debug_routes.cpp.o"
+  "CMakeFiles/debug_routes.dir/__/tools/debug_routes.cpp.o.d"
+  "debug_routes"
+  "debug_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

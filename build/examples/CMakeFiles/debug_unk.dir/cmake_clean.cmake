@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_unk.dir/__/tools/debug_unk.cpp.o"
+  "CMakeFiles/debug_unk.dir/__/tools/debug_unk.cpp.o.d"
+  "debug_unk"
+  "debug_unk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_unk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_prediction.dir/load_prediction.cpp.o"
+  "CMakeFiles/load_prediction.dir/load_prediction.cpp.o.d"
+  "load_prediction"
+  "load_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_stability.dir/tangled_stability.cpp.o"
+  "CMakeFiles/tangled_stability.dir/tangled_stability.cpp.o.d"
+  "tangled_stability"
+  "tangled_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_analysis.dir/catchment_diff.cpp.o"
+  "CMakeFiles/vp_analysis.dir/catchment_diff.cpp.o.d"
+  "CMakeFiles/vp_analysis.dir/coverage.cpp.o"
+  "CMakeFiles/vp_analysis.dir/coverage.cpp.o.d"
+  "CMakeFiles/vp_analysis.dir/divisions.cpp.o"
+  "CMakeFiles/vp_analysis.dir/divisions.cpp.o.d"
+  "CMakeFiles/vp_analysis.dir/geomaps.cpp.o"
+  "CMakeFiles/vp_analysis.dir/geomaps.cpp.o.d"
+  "CMakeFiles/vp_analysis.dir/latency.cpp.o"
+  "CMakeFiles/vp_analysis.dir/latency.cpp.o.d"
+  "CMakeFiles/vp_analysis.dir/load_analysis.cpp.o"
+  "CMakeFiles/vp_analysis.dir/load_analysis.cpp.o.d"
+  "CMakeFiles/vp_analysis.dir/scenario.cpp.o"
+  "CMakeFiles/vp_analysis.dir/scenario.cpp.o.d"
+  "CMakeFiles/vp_analysis.dir/stability.cpp.o"
+  "CMakeFiles/vp_analysis.dir/stability.cpp.o.d"
+  "libvp_analysis.a"
+  "libvp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

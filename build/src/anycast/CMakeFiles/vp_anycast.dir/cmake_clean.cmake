@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_anycast.dir/deployment.cpp.o"
+  "CMakeFiles/vp_anycast.dir/deployment.cpp.o.d"
+  "libvp_anycast.a"
+  "libvp_anycast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_anycast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

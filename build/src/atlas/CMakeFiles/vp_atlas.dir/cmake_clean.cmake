@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_atlas.dir/atlas.cpp.o"
+  "CMakeFiles/vp_atlas.dir/atlas.cpp.o.d"
+  "libvp_atlas.a"
+  "libvp_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

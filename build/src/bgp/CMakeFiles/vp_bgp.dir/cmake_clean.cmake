@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_bgp.dir/routing.cpp.o"
+  "CMakeFiles/vp_bgp.dir/routing.cpp.o.d"
+  "libvp_bgp.a"
+  "libvp_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_core.dir/catchment.cpp.o"
+  "CMakeFiles/vp_core.dir/catchment.cpp.o.d"
+  "CMakeFiles/vp_core.dir/collector.cpp.o"
+  "CMakeFiles/vp_core.dir/collector.cpp.o.d"
+  "CMakeFiles/vp_core.dir/dataset_io.cpp.o"
+  "CMakeFiles/vp_core.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/vp_core.dir/verfploeter.cpp.o"
+  "CMakeFiles/vp_core.dir/verfploeter.cpp.o.d"
+  "libvp_core.a"
+  "libvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_dns.dir/message.cpp.o"
+  "CMakeFiles/vp_dns.dir/message.cpp.o.d"
+  "libvp_dns.a"
+  "libvp_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnsload/load_model.cpp" "src/dnsload/CMakeFiles/vp_dnsload.dir/load_model.cpp.o" "gcc" "src/dnsload/CMakeFiles/vp_dnsload.dir/load_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/vp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/vp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/anycast/CMakeFiles/vp_anycast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

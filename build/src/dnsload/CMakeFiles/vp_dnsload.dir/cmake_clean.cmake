@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_dnsload.dir/load_model.cpp.o"
+  "CMakeFiles/vp_dnsload.dir/load_model.cpp.o.d"
+  "libvp_dnsload.a"
+  "libvp_dnsload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_dnsload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

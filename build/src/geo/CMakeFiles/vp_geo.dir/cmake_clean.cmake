@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_geo.dir/geodb.cpp.o"
+  "CMakeFiles/vp_geo.dir/geodb.cpp.o.d"
+  "CMakeFiles/vp_geo.dir/world.cpp.o"
+  "CMakeFiles/vp_geo.dir/world.cpp.o.d"
+  "libvp_geo.a"
+  "libvp_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

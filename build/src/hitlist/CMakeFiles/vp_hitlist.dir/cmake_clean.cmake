@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_hitlist.dir/hitlist.cpp.o"
+  "CMakeFiles/vp_hitlist.dir/hitlist.cpp.o.d"
+  "libvp_hitlist.a"
+  "libvp_hitlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_hitlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

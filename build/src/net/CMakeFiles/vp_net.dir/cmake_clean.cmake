@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_net.dir/checksum.cpp.o"
+  "CMakeFiles/vp_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/vp_net.dir/ipv4.cpp.o"
+  "CMakeFiles/vp_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/vp_net.dir/packet.cpp.o"
+  "CMakeFiles/vp_net.dir/packet.cpp.o.d"
+  "libvp_net.a"
+  "libvp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/flips.cpp" "src/sim/CMakeFiles/vp_sim.dir/flips.cpp.o" "gcc" "src/sim/CMakeFiles/vp_sim.dir/flips.cpp.o.d"
+  "/root/repo/src/sim/internet.cpp" "src/sim/CMakeFiles/vp_sim.dir/internet.cpp.o" "gcc" "src/sim/CMakeFiles/vp_sim.dir/internet.cpp.o.d"
+  "/root/repo/src/sim/responsiveness.cpp" "src/sim/CMakeFiles/vp_sim.dir/responsiveness.cpp.o" "gcc" "src/sim/CMakeFiles/vp_sim.dir/responsiveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/vp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/anycast/CMakeFiles/vp_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/vp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

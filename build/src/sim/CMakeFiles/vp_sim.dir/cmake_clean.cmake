@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_sim.dir/flips.cpp.o"
+  "CMakeFiles/vp_sim.dir/flips.cpp.o.d"
+  "CMakeFiles/vp_sim.dir/internet.cpp.o"
+  "CMakeFiles/vp_sim.dir/internet.cpp.o.d"
+  "CMakeFiles/vp_sim.dir/responsiveness.cpp.o"
+  "CMakeFiles/vp_sim.dir/responsiveness.cpp.o.d"
+  "libvp_sim.a"
+  "libvp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

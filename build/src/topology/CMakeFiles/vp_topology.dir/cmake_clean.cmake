@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_topology.dir/generator.cpp.o"
+  "CMakeFiles/vp_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/vp_topology.dir/topology.cpp.o"
+  "CMakeFiles/vp_topology.dir/topology.cpp.o.d"
+  "libvp_topology.a"
+  "libvp_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_util.dir/clock.cpp.o"
+  "CMakeFiles/vp_util.dir/clock.cpp.o.d"
+  "CMakeFiles/vp_util.dir/format.cpp.o"
+  "CMakeFiles/vp_util.dir/format.cpp.o.d"
+  "CMakeFiles/vp_util.dir/stats.cpp.o"
+  "CMakeFiles/vp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vp_util.dir/table.cpp.o"
+  "CMakeFiles/vp_util.dir/table.cpp.o.d"
+  "libvp_util.a"
+  "libvp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

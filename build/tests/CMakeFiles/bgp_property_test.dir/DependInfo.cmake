@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bgp_property_test.cpp" "tests/CMakeFiles/bgp_property_test.dir/bgp_property_test.cpp.o" "gcc" "tests/CMakeFiles/bgp_property_test.dir/bgp_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/vp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/vp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/vp_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnsload/CMakeFiles/vp_dnsload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hitlist/CMakeFiles/vp_hitlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/vp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/anycast/CMakeFiles/vp_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/vp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

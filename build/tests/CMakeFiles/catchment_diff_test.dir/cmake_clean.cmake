@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catchment_diff_test.dir/catchment_diff_test.cpp.o"
+  "CMakeFiles/catchment_diff_test.dir/catchment_diff_test.cpp.o.d"
+  "catchment_diff_test"
+  "catchment_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catchment_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

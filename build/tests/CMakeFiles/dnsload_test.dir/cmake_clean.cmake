@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsload_test.dir/dnsload_test.cpp.o"
+  "CMakeFiles/dnsload_test.dir/dnsload_test.cpp.o.d"
+  "dnsload_test"
+  "dnsload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

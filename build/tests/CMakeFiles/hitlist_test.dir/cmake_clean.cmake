@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hitlist_test.dir/hitlist_test.cpp.o"
+  "CMakeFiles/hitlist_test.dir/hitlist_test.cpp.o.d"
+  "hitlist_test"
+  "hitlist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hitlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
