@@ -41,9 +41,10 @@ int main() {
     now += gap;
   }
 
-  core::ProbeConfig probe;
-  probe.measurement_id = 424242;
-  const auto clean = scenario.verfploeter().run_round(routes, probe, 0).map;
+  core::RoundSpec spec;
+  spec.probe.measurement_id = 424242;
+  bench::RoundTally tally;
+  const auto clean = scenario.verfploeter().run(routes, spec, &tally).map;
 
   std::uint64_t clean_correct = 0, clean_wrong = 0;
   for (const auto& [block, site] : clean.entries()) {
@@ -82,7 +83,7 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("raw replies handled: %s (cleaned pipeline dropped %s)\n\n",
               util::with_commas(raw_replies).c_str(),
-              util::with_commas(clean.cleaning.dropped()).c_str());
+              util::with_commas(tally.cleaning.dropped()).c_str());
 
   std::printf("shape checks:\n");
   bench::shape("cleaned map agrees with ground truth", "100%",

@@ -23,7 +23,7 @@ int main() {
     core::ProbeConfig probe;
     probe.measurement_id = static_cast<std::uint32_t>(9000 + extra);
     probe.extra_targets_per_block = extra;
-    const auto map = scenario.verfploeter().run_round(routes, probe, 0).map;
+    const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;
     const double coverage =
         static_cast<double>(map.mapped_blocks()) /
         static_cast<double>(map.blocks_probed);

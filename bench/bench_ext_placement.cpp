@@ -44,7 +44,7 @@ int main() {
   const auto routes = scenario.route(scenario.broot());
   core::ProbeConfig probe;
   probe.measurement_id = 11000;
-  const auto before = scenario.verfploeter().run_round(routes, probe, 0);
+  const auto before = scenario.verfploeter().run(routes, {probe, 0});
   const auto report_before = analysis::analyze_latency(
       scenario.topo(), before, load, scenario.broot());
 
@@ -86,7 +86,7 @@ int main() {
       "NEW", upstream_near(scenario.topo(), location), location});
   const auto new_routes = scenario.route(expanded);
   probe.measurement_id = 11001;
-  const auto after = scenario.verfploeter().run_round(new_routes, probe, 1);
+  const auto after = scenario.verfploeter().run(new_routes, {probe, 1});
   const auto report_after =
       analysis::analyze_latency(scenario.topo(), after, load, expanded);
 

@@ -18,7 +18,7 @@ int main() {
   const auto routes = scenario.route(scenario.broot(), analysis::kMayEpoch);
   core::ProbeConfig probe;
   probe.measurement_id = 215;
-  const auto map = scenario.verfploeter().run_round(routes, probe, 0).map;
+  const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;
   const auto campaign =
       scenario.atlas().measure(routes, scenario.internet().flips(), 0);
 

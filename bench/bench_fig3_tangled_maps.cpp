@@ -17,7 +17,7 @@ int main() {
   const auto routes = scenario.route(tangled);
   core::ProbeConfig probe;
   probe.measurement_id = 301;
-  const auto map = scenario.verfploeter().run_round(routes, probe, 0).map;
+  const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;
   const auto campaign =
       scenario.atlas().measure(routes, scenario.internet().flips(), 0);
 

@@ -17,7 +17,7 @@ int main() {
   const auto routes = scenario.route(scenario.broot(), analysis::kAprilEpoch);
   core::ProbeConfig probe;
   probe.measurement_id = 412;
-  const auto map = scenario.verfploeter().run_round(routes, probe, 0).map;
+  const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;
   const auto broot_load = scenario.broot_load(0x20170412);  // LB-4-12
   const auto nl_load = scenario.nl_load();                  // LN-4-12
 

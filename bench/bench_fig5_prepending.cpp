@@ -37,11 +37,11 @@ int main() {
     probe.measurement_id =
         static_cast<std::uint32_t>(5000 + config.amount * 7 +
                                    (config.site[0] == 'L' ? 100 : 0));
-    const auto map = scenario.verfploeter()
-                         .run_round(routes, probe,
-                                    static_cast<std::uint32_t>(
-                                        &config - configs))
-                         .map;
+    const auto map =
+        scenario.verfploeter()
+            .run(routes,
+                 {probe, static_cast<std::uint32_t>(&config - configs)})
+            .map;
     const auto atlas = scenario.atlas().measure(
         routes, scenario.internet().flips(),
         static_cast<std::uint32_t>(&config - configs));

@@ -38,8 +38,8 @@ int main() {
         6000 + (&config - configs));
     const auto map =
         scenario.verfploeter()
-            .run_round(routes, probe,
-                       static_cast<std::uint32_t>(&config - configs))
+            .run(routes,
+                 {probe, static_cast<std::uint32_t>(&config - configs)})
             .map;
     const auto hours =
         analysis::hourly_load_by_site(scenario.topo(), load, map, 2);

@@ -24,8 +24,8 @@ int main() {
   core::CatchmentMap last_map;
   for (std::uint32_t round = 0; round < 8; ++round) {
     probe.measurement_id = 7000 + round;
-    auto result = scenario.verfploeter().run_round(
-        routes, probe, round, util::SimTime::from_minutes(15.0 * round));
+    auto result = scenario.verfploeter().run(
+        routes, {probe, round, util::SimTime::from_minutes(15.0 * round)});
     accumulator.add_round(result.map);
     last_map = std::move(result.map);
   }

@@ -16,7 +16,7 @@ int main() {
   const auto routes = scenario.route(scenario.tangled());
   core::ProbeConfig probe;
   probe.measurement_id = 8000;
-  const auto map = scenario.verfploeter().run_round(routes, probe, 0).map;
+  const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;
   const auto rows = analysis::analyze_prefix_sites(scenario.topo(), map);
 
   util::Table table{{"len", "prefixes", "1 site", "2", "3", "4", "5", "6+",

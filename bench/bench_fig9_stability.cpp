@@ -20,9 +20,8 @@ int main() {
   probe.order_seed = 97;
   for (std::uint32_t round = 0; round < 96; ++round) {
     probe.measurement_id = 3000 + round;
-    const auto result = scenario.verfploeter().run_round(
-        routes, probe, round,
-        util::SimTime::from_minutes(15.0 * round));
+    const auto result = scenario.verfploeter().run(
+        routes, {probe, round, util::SimTime::from_minutes(15.0 * round)});
     accumulator.add_round(result.map);
     if (round % 24 == 23)
       std::printf("  ... %u/96 rounds (t=%s)\n", round + 1,

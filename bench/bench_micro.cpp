@@ -133,21 +133,35 @@ void BM_ComputeRoutes(benchmark::State& state) {
 }
 BENCHMARK(BM_ComputeRoutes)->Unit(benchmark::kMillisecond);
 
+// One full measurement round, sharded over Arg(0) probe workers. The
+// acceptance bar for the parallel engine is >= 2.5x round throughput at
+// 8 threads vs 1 on multicore hardware; compare the per-iteration times
+// (the result is bit-identical at every thread count, so this measures
+// pure engine overhead/speedup).
 void BM_FullMeasurementRound(benchmark::State& state) {
   const auto& scenario = shared_scenario();
   static const bgp::RoutingTable routes =
       scenario.route(scenario.broot());
-  core::ProbeConfig probe;
+  core::RoundSpec spec;
+  spec.threads = static_cast<unsigned>(state.range(0));
   std::uint32_t round = 0;
   for (auto _ : state) {
-    probe.measurement_id = 100 + round;
-    benchmark::DoNotOptimize(
-        scenario.verfploeter().run_round(routes, probe, round++));
+    spec.probe.measurement_id = 100 + round;
+    spec.round = round++;
+    benchmark::DoNotOptimize(scenario.verfploeter().run(routes, spec));
   }
   state.counters["blocks"] =
       static_cast<double>(scenario.hitlist().size());
+  state.counters["blocks_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * scenario.hitlist().size()),
+      benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_FullMeasurementRound)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullMeasurementRound)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 }  // namespace
 

@@ -15,7 +15,7 @@ int main() {
   const auto routes = scenario.route(scenario.broot(), analysis::kMayEpoch);
   core::ProbeConfig probe;
   probe.measurement_id = 515;  // the SBV-5-15 dataset
-  const auto round = scenario.verfploeter().run_round(routes, probe, 0);
+  const auto round = scenario.verfploeter().run(routes, {probe, 0});
   const auto campaign = scenario.atlas().measure(
       routes, scenario.internet().flips(), 0);
   const auto report = analysis::compute_coverage(

@@ -15,7 +15,7 @@ int main() {
   const auto routes = scenario.route(scenario.broot(), analysis::kMayEpoch);
   core::ProbeConfig probe;
   probe.measurement_id = 515;
-  const auto map = scenario.verfploeter().run_round(routes, probe, 0).map;
+  const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;
   const auto load = scenario.broot_load(0x20170515);  // LB-5-15
   const auto coverage = analysis::compute_traffic_coverage(load, map);
 

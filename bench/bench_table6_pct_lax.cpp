@@ -21,9 +21,9 @@ int main() {
   core::ProbeConfig probe;
   probe.measurement_id = 421;
   const auto verf_april =
-      scenario.verfploeter().run_round(april, probe, 10).map;
+      scenario.verfploeter().run(april, {probe, 10}).map;
   probe.measurement_id = 515;
-  const auto verf_may = scenario.verfploeter().run_round(may, probe, 20).map;
+  const auto verf_may = scenario.verfploeter().run(may, {probe, 20}).map;
 
   const auto atlas_april = scenario.atlas_small().measure(
       april, scenario.internet().flips(), 10);

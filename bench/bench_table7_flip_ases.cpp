@@ -18,11 +18,11 @@ int main() {
   probe.order_seed = 97;
   for (std::uint32_t round = 0; round < 96; ++round) {
     probe.measurement_id = 4000 + round;
-    accumulator.add_round(scenario.verfploeter()
-                              .run_round(routes, probe, round,
-                                         util::SimTime::from_minutes(
-                                             15.0 * round))
-                              .map);
+    accumulator.add_round(
+        scenario.verfploeter()
+            .run(routes,
+                 {probe, round, util::SimTime::from_minutes(15.0 * round)})
+            .map);
   }
   const auto report = accumulator.finish();
 

@@ -13,11 +13,13 @@
 //   vpctl recommend [--candidates N]
 //   vpctl export-load [--date apr|may] [--out load.csv]
 //
-// Global flags: --scale F (Internet size, default 0.4), --seed N.
+// Global flags: --scale F (Internet size, default 0.4), --seed N,
+// --threads N (probe workers per round; 0 = all hardware threads).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +29,7 @@
 #include "analysis/load_analysis.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stability.hpp"
+#include "core/campaign.hpp"
 #include "core/dataset_io.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -85,12 +88,15 @@ int usage() {
       "  --scale F          Internet size multiplier (default 0.4 ~ 48k /24s)\n"
       "  --seed N           simulation seed (default 42)\n"
       "  --deployment NAME  broot (default) or tangled\n"
+      "  --threads N        probe workers per round (default 1; 0 = all\n"
+      "                     hardware threads; result is identical)\n"
       "scan options:\n"
       "  --prepend SITE=N   AS-prepend the SITE announcement N times\n"
       "  --out FILE         write the catchment as CSV\n"
       "campaign options:\n"
       "  --rounds N         number of rounds (default 16)\n"
       "  --interval-min M   minutes between rounds (default 15)\n"
+      "  --concurrency N    rounds measured in parallel (default 1)\n"
       "predict options:\n"
       "  --catchment FILE   reuse an exported catchment instead of scanning\n"
       "  --date apr|may     which load dataset to weight with (default may)\n"
@@ -122,6 +128,36 @@ std::uint64_t load_date_seed(const Args& args) {
   return args.get("date", "may") == "apr" ? 0x20170412ull : 0x20170515ull;
 }
 
+/// Renders a live progress line from the engine's callbacks. Shared by
+/// every round of a campaign, so state is guarded: concurrent rounds
+/// interleave their updates on one line, keyed by round index.
+class ProgressObserver : public core::RoundObserver {
+ public:
+  void on_probe_progress(const core::RoundSpec& spec, std::uint64_t sent,
+                         std::uint64_t total) override {
+    std::lock_guard lock{mutex_};
+    std::printf("\r\033[Kround %u: %s / %s probes", spec.round,
+                util::with_commas(sent).c_str(),
+                util::with_commas(total).c_str());
+    std::fflush(stdout);
+  }
+  void on_round_complete(const core::RoundSpec& spec,
+                         const core::RoundResult& result) override {
+    std::lock_guard lock{mutex_};
+    std::printf("\r\033[Kround %u: %s probes, %s replies kept, %s dropped\n",
+                spec.round, util::with_commas(result.map.probes_sent).c_str(),
+                util::with_commas(result.map.cleaning.kept).c_str(),
+                util::with_commas(result.map.cleaning.dropped()).c_str());
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+unsigned probe_threads(const Args& args) {
+  return static_cast<unsigned>(args.get_long("threads", 1));
+}
+
 void print_catchment_summary(const anycast::Deployment& deployment,
                              const core::RoundResult& round) {
   std::printf("probed %s blocks, mapped %s (%s)\n",
@@ -150,11 +186,14 @@ void print_catchment_summary(const anycast::Deployment& deployment,
 
 core::RoundResult run_scan(const analysis::Scenario& scenario,
                            const anycast::Deployment& deployment,
-                           std::uint32_t round_index) {
+                           std::uint32_t round_index, unsigned threads = 1) {
   const auto routes = scenario.route(deployment);
-  core::ProbeConfig probe;
-  probe.measurement_id = 9000 + round_index;
-  return scenario.verfploeter().run_round(routes, probe, round_index);
+  core::RoundSpec spec;
+  spec.probe.measurement_id = 9000 + round_index;
+  spec.round = round_index;
+  spec.threads = threads;
+  ProgressObserver progress;
+  return scenario.verfploeter().run(routes, spec, &progress);
 }
 
 int cmd_scan(const Args& args) {
@@ -169,7 +208,7 @@ int cmd_scan(const Args& args) {
                                 std::atoi(spec.c_str() + eq + 1));
     std::printf("prepending: %s\n", spec.c_str());
   }
-  const auto round = run_scan(scenario, deployment, 0);
+  const auto round = run_scan(scenario, deployment, 0, probe_threads(args));
   print_catchment_summary(deployment, round);
   if (args.has("out")) {
     const std::string path = args.get("out", "catchment.csv");
@@ -188,16 +227,22 @@ int cmd_campaign(const Args& args) {
   const auto rounds = static_cast<std::uint32_t>(args.get_long("rounds", 16));
   const double interval = args.get_double("interval-min", 15.0);
   const auto routes = scenario.route(deployment);
-  analysis::StabilityAccumulator accumulator{scenario.topo()};
   core::ProbeConfig probe;
-  for (std::uint32_t r = 0; r < rounds; ++r) {
-    probe.measurement_id = 100 + r;
-    accumulator.add_round(
-        scenario.verfploeter()
-            .run_round(routes, probe, r,
-                       util::SimTime::from_minutes(interval * r))
-            .map);
-  }
+  probe.measurement_id = 100;
+  ProgressObserver progress;
+  const auto results =
+      core::Campaign{scenario.verfploeter(), routes}
+          .probe(probe)
+          .rounds(rounds)
+          .interval(util::SimTime::from_minutes(interval))
+          .threads(probe_threads(args))
+          .concurrency(
+              static_cast<unsigned>(args.get_long("concurrency", 1)))
+          .observe(progress)
+          .run();
+  analysis::StabilityAccumulator accumulator{scenario.topo()};
+  for (const core::RoundResult& result : results)
+    accumulator.add_round(result.map);
   const auto report = accumulator.finish();
   std::printf("campaign: %u rounds, %.0f min apart\n", rounds, interval);
   std::printf("medians per round: stable %s, to-NR %s, from-NR %s, "
@@ -249,7 +294,7 @@ int cmd_predict(const Args& args) {
     std::printf("using imported catchment (%s blocks)\n",
                 util::with_commas(round.map.mapped_blocks()).c_str());
   } else {
-    round = run_scan(scenario, deployment, 0);
+    round = run_scan(scenario, deployment, 0, probe_threads(args));
   }
   const auto load = scenario.broot_load(load_date_seed(args));
   const auto split = analysis::predict_load(load, round.map,
@@ -269,7 +314,7 @@ int cmd_predict(const Args& args) {
 int cmd_recommend(const Args& args) {
   const auto scenario = make_scenario(args);
   const auto& deployment = pick_deployment(scenario, args);
-  const auto round = run_scan(scenario, deployment, 0);
+  const auto round = run_scan(scenario, deployment, 0, probe_threads(args));
   const auto load = scenario.broot_load(load_date_seed(args));
   const auto report =
       analysis::analyze_latency(scenario.topo(), round, load, deployment);

@@ -49,11 +49,11 @@ int main() {
     core::ProbeConfig probe;
     probe.measurement_id =
         static_cast<std::uint32_t>(100 + (&option - options));
-    const auto map = scenario.verfploeter()
-                         .run_round(routes, probe,
-                                    static_cast<std::uint32_t>(
-                                        &option - options))
-                         .map;
+    const auto map =
+        scenario.verfploeter()
+            .run(routes,
+                 {probe, static_cast<std::uint32_t>(&option - options)})
+            .map;
     const auto split = analysis::predict_load(load, map, 2);
     const double mia_share = split.fraction_to(1);
     // Target: MIA carries some but no more than a third of the load.

@@ -31,11 +31,13 @@ int main() {
   const auto& broot = scenario.broot();
   const bgp::RoutingTable routes = scenario.route(broot);
 
-  // 2. Run one Verfploeter measurement round.
-  core::ProbeConfig probe;
-  probe.measurement_id = 1001;
-  const core::RoundResult round =
-      scenario.verfploeter().run_round(routes, probe, /*round=*/0);
+  // 2. Run one Verfploeter measurement round. A RoundSpec describes the
+  //    round; spec.threads shards the probe phase without changing the
+  //    result (try spec.threads = 0 for one worker per hardware thread).
+  core::RoundSpec spec;
+  spec.probe.measurement_id = 1001;
+  spec.round = 0;
+  const core::RoundResult round = scenario.verfploeter().run(routes, spec);
   const core::CatchmentMap& map = round.map;
 
   std::printf("\nVerfploeter round %u:\n", map.measurement_id);

@@ -10,6 +10,7 @@
 
 #include "analysis/scenario.hpp"
 #include "analysis/stability.hpp"
+#include "core/campaign.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -26,15 +27,19 @@ int main(int argc, char** argv) {
               rounds, hours, scenario.topo().block_count());
 
   const auto routes = scenario.route(scenario.tangled());
-  analysis::StabilityAccumulator accumulator{scenario.topo()};
   core::ProbeConfig probe;
+  probe.measurement_id = 100;
   probe.order_seed = 7;
-  for (std::uint32_t round = 0; round < rounds; ++round) {
-    probe.measurement_id = 100 + round;
-    const auto result = scenario.verfploeter().run_round(
-        routes, probe, round, util::SimTime::from_minutes(15.0 * round));
+  // The Campaign builder owns the per-round spacing and seeding; each
+  // round gets a fresh measurement id, probe order, and start time.
+  const auto results = core::Campaign{scenario.verfploeter(), routes}
+                           .probe(probe)
+                           .rounds(rounds)
+                           .interval(util::SimTime::from_minutes(15.0))
+                           .run();
+  analysis::StabilityAccumulator accumulator{scenario.topo()};
+  for (const core::RoundResult& result : results)
     accumulator.add_round(result.map);
-  }
   const auto report = accumulator.finish();
 
   std::printf("median per-round classification:\n");

@@ -1,0 +1,46 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+
+#include "core/verfploeter.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vp::core {
+
+Campaign::Campaign(const Verfploeter& verfploeter,
+                   const bgp::RoutingTable& routes)
+    : Campaign(verfploeter.engine(), routes) {}
+
+RoundSpec Campaign::spec_for(std::uint32_t r) const {
+  RoundSpec spec;
+  spec.probe = base_;
+  spec.probe.measurement_id = base_.measurement_id + r;
+  spec.probe.order_seed = util::hash_combine(base_.order_seed, r);
+  spec.round = r;
+  spec.start = util::SimTime{interval_.usec * r};
+  spec.threads = threads_;
+  return spec;
+}
+
+std::vector<RoundResult> Campaign::run() const {
+  std::vector<RoundResult> out(rounds_);
+  const unsigned in_flight =
+      std::min(util::resolve_threads(concurrency_),
+               std::max<std::uint32_t>(rounds_, 1));
+  if (in_flight <= 1) {
+    for (std::uint32_t r = 0; r < rounds_; ++r)
+      out[r] = engine_->run(*routes_, spec_for(r), observer_);
+    return out;
+  }
+  util::ThreadPool pool{in_flight};
+  for (std::uint32_t r = 0; r < rounds_; ++r) {
+    pool.submit([this, r, &out] {
+      out[r] = engine_->run(*routes_, spec_for(r), observer_);
+    });
+  }
+  pool.wait_idle();
+  return out;
+}
+
+}  // namespace vp::core

@@ -1,0 +1,81 @@
+// Campaign: a builder for multi-round measurement runs.
+//
+// Owns the per-round policy the old Verfploeter::campaign() loop hard-
+// coded: round r gets measurement id `base + r`, a fresh probe order via
+// a per-round seed, and start time `r * interval` (the paper's 24-hour
+// campaign is 96 rounds, 15 minutes apart, §4.2). Rounds are independent
+// by construction — every stochastic process is a pure function of
+// (block, round, seed) — so they can run concurrently; results land in
+// round order regardless of completion order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/probe_engine.hpp"
+#include "core/round.hpp"
+
+namespace vp::core {
+
+class Verfploeter;
+
+class Campaign {
+ public:
+  Campaign(const ProbeEngine& engine, const bgp::RoutingTable& routes)
+      : engine_(&engine), routes_(&routes) {}
+  /// Convenience overload so call sites can pass the Verfploeter facade.
+  Campaign(const Verfploeter& verfploeter, const bgp::RoutingTable& routes);
+
+  /// Base probe configuration; round r runs with measurement id
+  /// `base.measurement_id + r` and order seed derived from
+  /// `base.order_seed` and r.
+  Campaign& probe(const ProbeConfig& base) {
+    base_ = base;
+    return *this;
+  }
+  Campaign& rounds(std::uint32_t count) {
+    rounds_ = count;
+    return *this;
+  }
+  Campaign& interval(util::SimTime spacing) {
+    interval_ = spacing;
+    return *this;
+  }
+  /// Probe-phase worker shards per round (RoundSpec::threads).
+  Campaign& threads(unsigned probe_workers) {
+    threads_ = probe_workers;
+    return *this;
+  }
+  /// How many rounds run concurrently (1 = sequential, 0 = one per
+  /// hardware thread). Total threads in flight is concurrency x threads.
+  Campaign& concurrency(unsigned rounds_in_flight) {
+    concurrency_ = rounds_in_flight;
+    return *this;
+  }
+  /// Observer shared by every round; with concurrency > 1 its callbacks
+  /// arrive from overlapping rounds (see RoundObserver's contract).
+  Campaign& observe(RoundObserver& observer) {
+    observer_ = &observer;
+    return *this;
+  }
+
+  /// The fully-resolved spec for round r — the campaign's spacing and
+  /// seeding policy in one place.
+  RoundSpec spec_for(std::uint32_t r) const;
+
+  /// Runs all rounds; out[r] is round r's result whatever the
+  /// completion order.
+  std::vector<RoundResult> run() const;
+
+ private:
+  const ProbeEngine* engine_;
+  const bgp::RoutingTable* routes_;
+  ProbeConfig base_;
+  std::uint32_t rounds_ = 1;
+  util::SimTime interval_ = util::SimTime::from_minutes(15);
+  unsigned threads_ = 1;
+  unsigned concurrency_ = 1;
+  RoundObserver* observer_ = nullptr;
+};
+
+}  // namespace vp::core

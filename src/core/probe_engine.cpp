@@ -1,0 +1,210 @@
+#include "core/probe_engine.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vp::core {
+
+namespace {
+
+/// One worker's private round state. Nothing here is shared while the
+/// probe phase runs; the coordinator merges after the workers join.
+struct Shard {
+  std::vector<Collector> collectors;  // one per site
+  std::unordered_set<std::uint32_t> probed_addresses;
+  std::unordered_set<std::uint32_t> probed_blocks;
+};
+
+}  // namespace
+
+RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
+                             const RoundSpec& spec,
+                             RoundObserver* observer) const {
+  const ProbeConfig& config = spec.probe;
+  const anycast::Deployment& deployment = routes.deployment();
+  const std::size_t site_count = deployment.sites.size();
+
+  RoundResult result;
+  result.started = spec.start;
+
+  // --- plan ---------------------------------------------------------------
+  // offset[i] = probes emitted before order position i — the serial walk's
+  // timestamp/sequence counter at that point. Every shard derives its tx
+  // times and ICMP sequence numbers from these global indices, so packets
+  // are bit-identical to the serial walk's no matter who builds them.
+  const auto order = hitlist_->probe_order(
+      util::hash_combine(config.order_seed, spec.round));
+  const std::uint64_t target_seed =
+      util::hash_combine(config.order_seed, 0x7a6e);
+  std::vector<std::uint64_t> offset(order.size() + 1, 0);
+  if (config.extra_targets_per_block == 0) {
+    for (std::size_t i = 0; i <= order.size(); ++i) offset[i] = i;
+  } else {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const hitlist::Entry& entry = hitlist_->entries()[order[i]];
+      offset[i + 1] = offset[i] +
+                      hitlist_
+                          ->targets_for(entry, config.extra_targets_per_block,
+                                        target_seed)
+                          .size();
+    }
+  }
+  const std::uint64_t total_probes = offset[order.size()];
+
+  // Contiguous chunks of the probe order, balanced by probe count.
+  // Contiguity is what makes the merge order-preserving (see header).
+  const unsigned shard_count = static_cast<unsigned>(std::min<std::uint64_t>(
+      util::resolve_threads(spec.threads),
+      std::max<std::uint64_t>(order.size(), 1)));
+  std::vector<std::size_t> bounds(shard_count + 1, order.size());
+  bounds[0] = 0;
+  for (unsigned s = 1; s < shard_count; ++s) {
+    const std::uint64_t want = total_probes * s / shard_count;
+    bounds[s] = static_cast<std::size_t>(
+        std::lower_bound(offset.begin(), offset.end(), want) -
+        offset.begin());
+  }
+
+  // --- probe phase (sharded) ----------------------------------------------
+  const util::SimTime gap =
+      util::SimTime::from_seconds(1.0 / config.rate_pps);
+  std::vector<Shard> shards(shard_count);
+  std::mutex observer_mutex;
+  std::uint64_t sent_total = 0;  // guarded by observer_mutex
+  // Each worker reports every `stride` probes; dividing by the shard count
+  // keeps the global reporting cadence roughly constant as threads grow.
+  const std::uint64_t stride =
+      std::max<std::uint64_t>((1u << 16) / shard_count, 4096);
+
+  util::run_shards(shard_count, [&](unsigned s) {
+    Shard& shard = shards[s];
+    shard.collectors.reserve(site_count);
+    for (std::size_t site = 0; site < site_count; ++site)
+      shard.collectors.emplace_back(static_cast<anycast::SiteId>(site));
+    const std::size_t begin = bounds[s];
+    const std::size_t end = bounds[s + 1];
+    shard.probed_addresses.reserve(
+        static_cast<std::size_t>(offset[end] - offset[begin]) * 2);
+    std::uint64_t probe_index = offset[begin];
+    std::uint64_t since_report = 0;
+    util::SimTime now =
+        spec.start +
+        util::SimTime{gap.usec * static_cast<std::int64_t>(probe_index)};
+    for (std::size_t i = begin; i < end; ++i) {
+      const hitlist::Entry& entry = hitlist_->entries()[order[i]];
+      const auto targets = hitlist_->targets_for(
+          entry, config.extra_targets_per_block, target_seed);
+      for (const net::Ipv4Address target : targets) {
+        net::ProbePayload payload;
+        payload.measurement_id = config.measurement_id;
+        payload.tx_time_usec = now.usec;
+        payload.original_target = target;
+        const net::PacketBytes probe = net::build_echo_request(
+            deployment.measurement_address, target,
+            static_cast<std::uint16_t>(config.measurement_id & 0xffff),
+            static_cast<std::uint16_t>(probe_index & 0xffff), payload);
+        shard.probed_addresses.insert(target.value());
+        shard.probed_blocks.insert(entry.block.index());
+        for (sim::Delivery& delivery :
+             internet_->probe(routes, probe.data, now, spec.round)) {
+          shard.collectors[static_cast<std::size_t>(delivery.site)].receive(
+              delivery.packet.data, delivery.arrival);
+        }
+        ++probe_index;
+        now += gap;
+        if (observer != nullptr && ++since_report == stride) {
+          std::lock_guard lock{observer_mutex};
+          sent_total += since_report;
+          since_report = 0;
+          observer->on_probe_progress(spec, sent_total, total_probes);
+        }
+      }
+    }
+  });
+  if (observer != nullptr)
+    observer->on_probe_progress(spec, total_probes, total_probes);
+
+  result.probing_duration =
+      util::SimTime{gap.usec * static_cast<std::int64_t>(total_probes)};
+  result.map.probes_sent = total_probes;
+  result.map.measurement_id = config.measurement_id;
+
+  // --- merge --------------------------------------------------------------
+  // Shard address/block sets are disjoint (each hitlist entry lives in
+  // exactly one chunk), so merging splices nodes without copies.
+  std::unordered_set<std::uint32_t> probed_addresses;
+  std::unordered_set<std::uint32_t> probed_blocks;
+  probed_addresses.reserve(static_cast<std::size_t>(total_probes) * 2);
+  probed_blocks.reserve(order.size() * 2);
+  for (Shard& shard : shards) {
+    probed_addresses.merge(shard.probed_addresses);
+    probed_blocks.merge(shard.probed_blocks);
+  }
+  result.map.blocks_probed = probed_blocks.size();
+
+  // Per site, concatenate shard records in shard order: chunks are
+  // contiguous in emission order, so this IS the serial receive order.
+  std::vector<ReplyRecord> merged;
+  result.raw_replies_per_site.assign(site_count, 0);
+  CleaningStats& stats = result.map.cleaning;
+  std::size_t total_records = 0;
+  for (const Shard& shard : shards)
+    for (const Collector& collector : shard.collectors)
+      total_records += collector.records().size();
+  merged.reserve(total_records);
+  for (std::size_t site = 0; site < site_count; ++site) {
+    for (const Shard& shard : shards) {
+      const Collector& collector = shard.collectors[site];
+      stats.malformed += collector.malformed();
+      result.raw_replies_per_site[site] += collector.records().size();
+      merged.insert(merged.end(), collector.records().begin(),
+                    collector.records().end());
+    }
+  }
+  stats.raw_replies = merged.size() + stats.malformed;
+  if (observer != nullptr)
+    observer->on_replies_collected(spec, result.raw_replies_per_site);
+
+  // --- central cleaning (paper §4) ----------------------------------------
+  // First reply wins: order by arrival (stable for determinism).
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const ReplyRecord& a, const ReplyRecord& b) {
+                     return a.arrival < b.arrival;
+                   });
+  const util::SimTime cutoff =
+      spec.start + util::SimTime::from_minutes(config.late_cutoff_minutes);
+  for (const ReplyRecord& record : merged) {
+    if (record.measurement_id != config.measurement_id) {
+      ++stats.wrong_id;
+      continue;
+    }
+    if (record.arrival > cutoff) {
+      ++stats.late;
+      continue;
+    }
+    if (probed_addresses.find(record.source.value()) ==
+        probed_addresses.end()) {
+      ++stats.unsolicited;
+      continue;
+    }
+    const net::Block24 block = net::Block24::containing(record.source);
+    if (result.map.contains(block)) {
+      ++stats.duplicates;
+      continue;
+    }
+    result.map.set(block, record.site);
+    result.rtt_ms.emplace(
+        block, static_cast<float>((record.arrival - record.tx_time).usec) /
+                   1000.0f);
+    ++stats.kept;
+  }
+  if (observer != nullptr) observer->on_round_complete(spec, result);
+  return result;
+}
+
+}  // namespace vp::core

@@ -1,0 +1,55 @@
+// The sharded probe engine: runs one measurement round across N worker
+// threads and merges their shards into a result that is bit-identical to
+// the serial walk.
+//
+// Why this is safe to parallelize: every stochastic decision on the probe
+// path — responsiveness, duplicates, aliases, flips, RTT jitter — is a
+// pure function of (block, round, seed) (see sim/), and the hitlist's
+// pseudorandom order plus per-probe timestamps and ICMP sequence numbers
+// are pure functions of the probe's *global index* in that order. So the
+// engine:
+//
+//   1. materializes the round's probe order and prefix-sums the per-entry
+//      target counts, giving every probe its global index up front;
+//   2. splits the order into N *contiguous* chunks of roughly equal probe
+//      count; each worker probes its chunk with private per-site
+//      collectors and private probed-address/block sets, stamping tx
+//      times and sequence numbers from the global index;
+//   3. merges: per site, shard record lists are concatenated in shard
+//      order — because chunks are contiguous in emission order, this
+//      reproduces the serial collector's receive order exactly — then the
+//      usual stable sort by arrival and first-reply-wins cleaning pass
+//      run unchanged (paper §4).
+//
+// Equal-arrival ties therefore resolve identically for any thread count,
+// and the CatchmentMap, CleaningStats, and per-block RTTs match the
+// one-thread run bit for bit.
+#pragma once
+
+#include "bgp/routing.hpp"
+#include "core/collector.hpp"
+#include "core/round.hpp"
+#include "hitlist/hitlist.hpp"
+#include "sim/internet.hpp"
+
+namespace vp::core {
+
+class ProbeEngine {
+ public:
+  ProbeEngine(const sim::InternetSim& internet,
+              const hitlist::Hitlist& hitlist)
+      : internet_(&internet), hitlist_(&hitlist) {}
+
+  /// Runs one round against the current BGP state with spec.threads
+  /// probe workers. Safe to call concurrently from multiple threads
+  /// (e.g. overlapping rounds of a campaign): the engine holds no
+  /// mutable state and the sim layer is const-pure.
+  RoundResult run(const bgp::RoutingTable& routes, const RoundSpec& spec,
+                  RoundObserver* observer = nullptr) const;
+
+ private:
+  const sim::InternetSim* internet_;
+  const hitlist::Hitlist* hitlist_;
+};
+
+}  // namespace vp::core

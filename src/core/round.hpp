@@ -1,0 +1,94 @@
+// The round API: value types describing one measurement round and the
+// observer interface for watching it run.
+//
+// A round is fully specified by a RoundSpec — probe configuration, the
+// round index (which drives every stochastic process in the simulator),
+// the virtual start time, and how many worker shards to probe with. Two
+// runs of the same spec produce bit-identical results for ANY thread
+// count; see core/probe_engine.hpp for how the merge guarantees this.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/catchment.hpp"
+#include "net/ipv4.hpp"
+#include "util/clock.hpp"
+
+namespace vp::core {
+
+struct ProbeConfig {
+  std::uint32_t measurement_id = 1;
+  /// Probe transmission rate (paper §4.2: 10k/s; §3.1 mentions ~6k/s).
+  double rate_pps = 10'000.0;
+  /// Replies later than this after measurement start are discarded (§4).
+  double late_cutoff_minutes = 15.0;
+  /// Seed for the pseudorandom probe order.
+  std::uint64_t order_seed = 1;
+  /// Extra addresses probed per block (0 = the paper's single-probe
+  /// design; >0 = the Trinocular-style ablation).
+  int extra_targets_per_block = 0;
+};
+
+/// Everything that defines one measurement round. Replaces the old
+/// positional run_round(routes, config, round, start) argument list.
+struct RoundSpec {
+  ProbeConfig probe;
+  /// Indexes the simulation's stochastic processes (responsiveness churn,
+  /// catchment flips).
+  std::uint32_t round = 0;
+  /// Stamps probe transmit times.
+  util::SimTime start{};
+  /// Probe-phase worker shards: 1 = serial, 0 = one per hardware thread.
+  /// Never affects the result, only wall-clock time.
+  unsigned threads = 1;
+};
+
+/// Outcome of one round: the cleaned catchment map plus the raw per-site
+/// reply volumes (used by the traffic-cost accounting) and the measured
+/// round-trip time per mapped block (paper §7 suggests using these RTTs
+/// to decide where new anycast sites would help; see analysis/latency).
+struct RoundResult {
+  CatchmentMap map;
+  std::vector<std::uint64_t> raw_replies_per_site;
+  std::unordered_map<net::Block24, float> rtt_ms;  // kept replies only
+  util::SimTime started;
+  util::SimTime probing_duration;  // time to emit all probes at rate_pps
+};
+
+/// Progress and accounting callbacks from a running round. Default
+/// implementations do nothing, so observers override only what they need.
+///
+/// Threading contract: within one run, on_probe_progress may be called
+/// from any probe worker but calls are serialized by the engine;
+/// on_replies_collected and on_round_complete come from the coordinating
+/// thread after the workers joined. Distinct *concurrent* rounds (a
+/// Campaign with concurrency > 1) each call the observer independently —
+/// an observer shared across rounds must synchronize its own state.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+
+  /// Probe-phase progress: `sent` of `total` probes emitted so far.
+  /// Throttled (roughly every 64k probes per worker, plus once at the
+  /// end), monotonic per round.
+  virtual void on_probe_progress(const RoundSpec& spec, std::uint64_t sent,
+                                 std::uint64_t total) {
+    (void)spec, (void)sent, (void)total;
+  }
+
+  /// All collectors merged: raw reply counts per site, before cleaning.
+  virtual void on_replies_collected(
+      const RoundSpec& spec, const std::vector<std::uint64_t>& per_site) {
+    (void)spec, (void)per_site;
+  }
+
+  /// The round is fully cleaned; `result.map.cleaning` holds the stats.
+  virtual void on_round_complete(const RoundSpec& spec,
+                                 const RoundResult& result) {
+    (void)spec, (void)result;
+  }
+};
+
+}  // namespace vp::core

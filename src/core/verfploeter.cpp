@@ -1,127 +1,31 @@
 #include "core/verfploeter.hpp"
 
-#include <algorithm>
-#include <unordered_set>
-
-#include "util/rng.hpp"
+#include "core/campaign.hpp"
 
 namespace vp::core {
+
+// Deprecated shims: the old positional surface, expressed on the new one.
 
 RoundResult Verfploeter::run_round(const bgp::RoutingTable& routes,
                                    const ProbeConfig& config,
                                    std::uint32_t round,
                                    util::SimTime start) const {
-  const anycast::Deployment& deployment = routes.deployment();
-  const std::size_t site_count = deployment.sites.size();
-
-  std::vector<Collector> collectors;
-  collectors.reserve(site_count);
-  for (std::size_t s = 0; s < site_count; ++s)
-    collectors.emplace_back(static_cast<anycast::SiteId>(s));
-
-  RoundResult result;
-  result.started = start;
-
-  // --- probe phase -------------------------------------------------------
-  const auto order = hitlist_->probe_order(
-      util::hash_combine(config.order_seed, round));
-  const util::SimTime gap =
-      util::SimTime::from_seconds(1.0 / config.rate_pps);
-  util::SimTime now = start;
-  std::unordered_set<std::uint32_t> probed_addresses;
-  std::unordered_set<std::uint32_t> probed_blocks;
-  probed_addresses.reserve(order.size() * 2);
-
-  for (const std::uint32_t index : order) {
-    const hitlist::Entry& entry = hitlist_->entries()[index];
-    const auto targets = hitlist_->targets_for(
-        entry, config.extra_targets_per_block,
-        util::hash_combine(config.order_seed, 0x7a6e));
-    for (const net::Ipv4Address target : targets) {
-      net::ProbePayload payload;
-      payload.measurement_id = config.measurement_id;
-      payload.tx_time_usec = now.usec;
-      payload.original_target = target;
-      const net::PacketBytes probe = net::build_echo_request(
-          deployment.measurement_address, target,
-          static_cast<std::uint16_t>(config.measurement_id & 0xffff),
-          static_cast<std::uint16_t>(result.map.probes_sent & 0xffff),
-          payload);
-      probed_addresses.insert(target.value());
-      probed_blocks.insert(entry.block.index());
-      ++result.map.probes_sent;
-      for (sim::Delivery& delivery :
-           internet_->probe(routes, probe.data, now, round)) {
-        collectors[static_cast<std::size_t>(delivery.site)].receive(
-            delivery.packet.data, delivery.arrival);
-      }
-      now += gap;
-    }
-  }
-  result.probing_duration = now - start;
-  result.map.blocks_probed = probed_blocks.size();
-  result.map.measurement_id = config.measurement_id;
-
-  // --- central cleaning (paper §4) ----------------------------------------
-  std::vector<ReplyRecord> merged;
-  result.raw_replies_per_site.assign(site_count, 0);
-  CleaningStats& stats = result.map.cleaning;
-  for (const Collector& collector : collectors) {
-    stats.malformed += collector.malformed();
-    result.raw_replies_per_site[static_cast<std::size_t>(
-        collector.site())] += collector.records().size();
-    merged.insert(merged.end(), collector.records().begin(),
-                  collector.records().end());
-  }
-  stats.raw_replies = merged.size() + stats.malformed;
-  // First reply wins: order by arrival (stable for determinism).
-  std::stable_sort(merged.begin(), merged.end(),
-                   [](const ReplyRecord& a, const ReplyRecord& b) {
-                     return a.arrival < b.arrival;
-                   });
-  const util::SimTime cutoff =
-      start + util::SimTime::from_minutes(config.late_cutoff_minutes);
-  for (const ReplyRecord& record : merged) {
-    if (record.measurement_id != config.measurement_id) {
-      ++stats.wrong_id;
-      continue;
-    }
-    if (record.arrival > cutoff) {
-      ++stats.late;
-      continue;
-    }
-    if (probed_addresses.find(record.source.value()) ==
-        probed_addresses.end()) {
-      ++stats.unsolicited;
-      continue;
-    }
-    const net::Block24 block = net::Block24::containing(record.source);
-    if (result.map.contains(block)) {
-      ++stats.duplicates;
-      continue;
-    }
-    result.map.set(block, record.site);
-    result.rtt_ms.emplace(
-        block, static_cast<float>((record.arrival - record.tx_time).usec) /
-                   1000.0f);
-    ++stats.kept;
-  }
-  return result;
+  RoundSpec spec;
+  spec.probe = config;
+  spec.round = round;
+  spec.start = start;
+  return engine_.run(routes, spec);
 }
 
-std::vector<RoundResult> Verfploeter::campaign(
-    const bgp::RoutingTable& routes, const ProbeConfig& base,
-    std::uint32_t rounds, util::SimTime interval) const {
-  std::vector<RoundResult> out;
-  out.reserve(rounds);
-  for (std::uint32_t r = 0; r < rounds; ++r) {
-    ProbeConfig config = base;
-    config.measurement_id = base.measurement_id + r;
-    config.order_seed = util::hash_combine(base.order_seed, r);
-    out.push_back(run_round(routes, config, r,
-                            util::SimTime{interval.usec * r}));
-  }
-  return out;
+std::vector<RoundResult> Verfploeter::campaign(const bgp::RoutingTable& routes,
+                                               const ProbeConfig& base,
+                                               std::uint32_t rounds,
+                                               util::SimTime interval) const {
+  return Campaign{engine_, routes}
+      .probe(base)
+      .rounds(rounds)
+      .interval(interval)
+      .run();
 }
 
 }  // namespace vp::core

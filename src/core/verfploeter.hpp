@@ -14,68 +14,52 @@
 // Crucially, this pipeline never consults the routing table: catchments
 // are *discovered* from which collector received each reply, exactly as
 // the real system must.
+//
+// This class is now a thin facade over core/probe_engine.hpp (the sharded
+// round runner) and core/campaign.hpp (multi-round policy). New code
+// describes a round with a RoundSpec and calls run(); the positional
+// run_round()/campaign() surface remains as deprecated shims.
 #pragma once
 
 #include <cstdint>
 #include <vector>
-#include <unordered_map>
 
 #include "bgp/routing.hpp"
-#include "core/catchment.hpp"
-#include "core/collector.hpp"
+#include "core/probe_engine.hpp"
+#include "core/round.hpp"
 #include "hitlist/hitlist.hpp"
 #include "sim/internet.hpp"
 
 namespace vp::core {
 
-struct ProbeConfig {
-  std::uint32_t measurement_id = 1;
-  /// Probe transmission rate (paper §4.2: 10k/s; §3.1 mentions ~6k/s).
-  double rate_pps = 10'000.0;
-  /// Replies later than this after measurement start are discarded (§4).
-  double late_cutoff_minutes = 15.0;
-  /// Seed for the pseudorandom probe order.
-  std::uint64_t order_seed = 1;
-  /// Extra addresses probed per block (0 = the paper's single-probe
-  /// design; >0 = the Trinocular-style ablation).
-  int extra_targets_per_block = 0;
-};
-
-/// Outcome of one round: the cleaned catchment map plus the raw per-site
-/// reply volumes (used by the traffic-cost accounting) and the measured
-/// round-trip time per mapped block (paper §7 suggests using these RTTs
-/// to decide where new anycast sites would help; see analysis/latency).
-struct RoundResult {
-  CatchmentMap map;
-  std::vector<std::uint64_t> raw_replies_per_site;
-  std::unordered_map<net::Block24, float> rtt_ms;  // kept replies only
-  util::SimTime started;
-  util::SimTime probing_duration;  // time to emit all probes at rate_pps
-};
-
 class Verfploeter {
  public:
   Verfploeter(const sim::InternetSim& internet, const hitlist::Hitlist& hitlist)
-      : internet_(&internet), hitlist_(&hitlist) {}
+      : engine_(internet, hitlist) {}
 
-  /// Runs one measurement round against the current BGP state. `round`
-  /// indexes the simulation's stochastic processes (responsiveness churn,
-  /// flaps); `start` stamps probe transmit times.
+  /// Runs the round described by `spec` against the current BGP state.
+  /// `spec.threads` probe workers; bit-identical result for any value.
+  RoundResult run(const bgp::RoutingTable& routes, const RoundSpec& spec,
+                  RoundObserver* observer = nullptr) const {
+    return engine_.run(routes, spec, observer);
+  }
+
+  /// The underlying sharded engine (what Campaign drives directly).
+  const ProbeEngine& engine() const { return engine_; }
+
+  [[deprecated("describe the round with a RoundSpec and call run()")]]
   RoundResult run_round(const bgp::RoutingTable& routes,
                         const ProbeConfig& config, std::uint32_t round,
                         util::SimTime start = {}) const;
 
-  /// Runs `rounds` rounds spaced `interval` apart (the paper's 24-hour,
-  /// 96-round campaign uses interval = 15 min). Each round gets a fresh
-  /// measurement id and probe order.
+  [[deprecated("use core::Campaign, which owns spacing and seeding")]]
   std::vector<RoundResult> campaign(const bgp::RoutingTable& routes,
                                     const ProbeConfig& base,
                                     std::uint32_t rounds,
                                     util::SimTime interval) const;
 
  private:
-  const sim::InternetSim* internet_;
-  const hitlist::Hitlist* hitlist_;
+  ProbeEngine engine_;
 };
 
 }  // namespace vp::core

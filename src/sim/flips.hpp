@@ -8,6 +8,10 @@
 // at its AS. Within load-balanced ASes a small "flappy" population picks a
 // tied route per round (per-flow load balancing); every other multi-route
 // AS contributes a rare background flip (transient routing changes).
+//
+// Every decision is a stateless hash of (seed, block, round): const
+// methods are pure and safe under concurrent probe workers
+// (core/probe_engine.hpp).
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,15 @@
 // for their catchment, even if it is not the site that originated the
 // query". RTTs are distance-based so reply timestamps and the late-reply
 // cleaning path are realistic.
+//
+// Thread-safety: probe() and every model beneath it (responsiveness,
+// flips, RTT jitter) are const and PURE — each stochastic decision is a
+// stateless hash of (block, round, seed), with all generator state local
+// to the call. The parallel probe engine (core/probe_engine.hpp) depends
+// on this: concurrent probe() calls against the same InternetSim and
+// RoutingTable must be data-race-free and give identical answers in any
+// interleaving. Do not add mutable caches here without a lock and a
+// determinism argument.
 #pragma once
 
 #include <cstdint>

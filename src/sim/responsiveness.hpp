@@ -13,7 +13,9 @@
 //    Korea-heavy unmappable region of Figure 4a).
 //
 // All decisions are deterministic hashes of (seed, block, round), so any
-// round can be re-evaluated independently and reproducibly.
+// round can be re-evaluated independently and reproducibly. This also
+// makes every const method safe to call from concurrent probe workers
+// (core/probe_engine.hpp): the model holds no per-call mutable state.
 #pragma once
 
 #include <cstdint>

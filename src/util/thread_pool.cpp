@@ -1,0 +1,108 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vp::util {
+
+unsigned resolve_threads(unsigned requested) noexcept {
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  return std::min(requested, 256u);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = resolve_threads(threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{mutex_};
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock{mutex_};
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock{mutex_};
+  all_idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock{mutex_};
+  for (;;) {
+    work_available_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_;
+    lock.unlock();
+    try {
+      job();
+    } catch (...) {
+      lock.lock();
+      if (!first_error_) first_error_ = std::current_exception();
+      lock.unlock();
+    }
+    lock.lock();
+    --busy_;
+    if (queue_.empty() && busy_ == 0) all_idle_.notify_all();
+  }
+}
+
+void run_shards(unsigned shards, const std::function<void(unsigned)>& body) {
+  if (shards <= 1) {
+    body(0);
+    return;
+  }
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto guarded = [&](unsigned shard) {
+    try {
+      body(shard);
+    } catch (...) {
+      std::lock_guard lock{error_mutex};
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(shards - 1);
+  for (unsigned s = 1; s < shards; ++s)
+    threads.emplace_back(guarded, s);
+  guarded(0);
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  const unsigned shards = static_cast<unsigned>(std::min<std::size_t>(
+      std::max(1u, threads), std::max<std::size_t>(count, 1)));
+  run_shards(shards, [&](unsigned shard) {
+    const std::size_t begin = count * shard / shards;
+    const std::size_t end = count * (shard + 1) / shards;
+    if (begin < end) body(begin, end);
+  });
+}
+
+}  // namespace vp::util

@@ -29,7 +29,7 @@ class DiffTest : public ::testing::Test {
     const auto routes = scenario().route(deployment, epoch);
     core::ProbeConfig probe;
     probe.measurement_id = 100 + round;
-    return scenario().verfploeter().run_round(routes, probe, round).map;
+    return scenario().verfploeter().run(routes, {probe, round}).map;
   }
 
  private:

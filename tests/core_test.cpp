@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/scenario.hpp"
+#include "core/campaign.hpp"
 #include "core/verfploeter.hpp"
 
 namespace vp::core {
@@ -18,7 +19,7 @@ class CoreTest : public ::testing::Test {
     ProbeConfig probe;
     probe.measurement_id = 500;
     round_ = new RoundResult(
-        scenario_->verfploeter().run_round(*routes_, probe, 0));
+        scenario_->verfploeter().run(*routes_, {probe, 0}));
   }
   static void TearDownTestSuite() {
     delete round_;
@@ -95,7 +96,7 @@ TEST_F(CoreTest, RoundIsDeterministic) {
   ProbeConfig probe;
   probe.measurement_id = 500;
   const RoundResult again =
-      scenario().verfploeter().run_round(routes(), probe, 0);
+      scenario().verfploeter().run(routes(), {probe, 0});
   EXPECT_EQ(again.map.mapped_blocks(), round().map.mapped_blocks());
   for (const auto& [block, site] : round().map.entries())
     EXPECT_EQ(again.map.site_of(block), site);
@@ -105,7 +106,7 @@ TEST_F(CoreTest, DifferentRoundsDifferSlightly) {
   ProbeConfig probe;
   probe.measurement_id = 501;
   const RoundResult other =
-      scenario().verfploeter().run_round(routes(), probe, 1);
+      scenario().verfploeter().run(routes(), {probe, 1});
   // Churn means the two rounds map a slightly different set.
   std::size_t differing = 0;
   for (const auto& [block, site] : round().map.entries())
@@ -119,7 +120,7 @@ TEST_F(CoreTest, ExtraTargetsImproveCoverage) {
   probe.measurement_id = 600;
   probe.extra_targets_per_block = 3;
   const RoundResult retried =
-      scenario().verfploeter().run_round(routes(), probe, 0);
+      scenario().verfploeter().run(routes(), {probe, 0});
   EXPECT_GT(retried.map.mapped_blocks(), round().map.mapped_blocks());
   EXPECT_GT(retried.map.probes_sent, round().map.probes_sent * 3);
 }
@@ -143,8 +144,11 @@ TEST_F(CoreTest, FractionToSitesSumsToOne) {
 TEST_F(CoreTest, CampaignProducesDistinctRounds) {
   ProbeConfig probe;
   probe.measurement_id = 700;
-  const auto rounds = scenario().verfploeter().campaign(
-      routes(), probe, 4, util::SimTime::from_minutes(15));
+  const auto rounds = Campaign{scenario().verfploeter(), routes()}
+                          .probe(probe)
+                          .rounds(4)
+                          .interval(util::SimTime::from_minutes(15))
+                          .run();
   ASSERT_EQ(rounds.size(), 4u);
   for (std::size_t r = 0; r < rounds.size(); ++r) {
     EXPECT_EQ(rounds[r].map.measurement_id, 700u + r);

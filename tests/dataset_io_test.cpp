@@ -121,7 +121,7 @@ TEST(DatasetIo, MeasuredRoundSurvivesExportImport) {
   const auto routes = scenario.route(scenario.broot());
   ProbeConfig probe;
   probe.measurement_id = 50;
-  const auto round = scenario.verfploeter().run_round(routes, probe, 0);
+  const auto round = scenario.verfploeter().run(routes, {probe, 0});
 
   std::stringstream stream;
   write_catchment_csv(stream, round, scenario.broot());

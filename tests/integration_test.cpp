@@ -8,6 +8,7 @@
 #include "analysis/load_analysis.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stability.hpp"
+#include "core/campaign.hpp"
 
 namespace vp {
 namespace {
@@ -24,7 +25,7 @@ class IntegrationTest : public ::testing::Test {
     core::ProbeConfig probe;
     probe.measurement_id = 1;
     broot_round_ = new core::RoundResult(
-        scenario_->verfploeter().run_round(*broot_routes_, probe, 0));
+        scenario_->verfploeter().run(*broot_routes_, {probe, 0}));
   }
   static void TearDownTestSuite() {
     delete broot_round_;
@@ -161,7 +162,7 @@ TEST_F(IntegrationTest, StalePredictionsAreWorse) {
   core::ProbeConfig probe;
   probe.measurement_id = 90;
   const auto april_map =
-      scenario().verfploeter().run_round(april_routes, probe, 40).map;
+      scenario().verfploeter().run(april_routes, {probe, 40}).map;
   const auto april_load = scenario().broot_load(0x20170412);
   const auto may_load = scenario().broot_load(0x20170515);
 
@@ -191,7 +192,7 @@ TEST_F(IntegrationTest, PrependingShiftsCatchmentMonotonically) {
     core::ProbeConfig probe;
     probe.measurement_id = 200 + amount;
     const auto map =
-        scenario().verfploeter().run_round(routes, probe, 0).map;
+        scenario().verfploeter().run(routes, {probe, 0}).map;
     const double lax = map.fraction_to(0);
     EXPECT_GE(lax, previous - 1e-9);
     previous = lax;
@@ -205,7 +206,7 @@ TEST_F(IntegrationTest, PrependingLeavesAStickyResidue) {
   const auto routes = scenario().route(deployment, analysis::kAprilEpoch);
   core::ProbeConfig probe;
   probe.measurement_id = 300;
-  const auto map = scenario().verfploeter().run_round(routes, probe, 0).map;
+  const auto map = scenario().verfploeter().run(routes, {probe, 0}).map;
   const double mia = map.fraction_to(1);
   EXPECT_GT(mia, 0.005);
   EXPECT_LT(mia, 0.20);
@@ -217,7 +218,7 @@ TEST_F(IntegrationTest, LargeAsesSplitAcrossTangledSites) {
   const auto routes = scenario().route(scenario().tangled());
   core::ProbeConfig probe;
   probe.measurement_id = 400;
-  const auto map = scenario().verfploeter().run_round(routes, probe, 0).map;
+  const auto map = scenario().verfploeter().run(routes, {probe, 0}).map;
   const auto report = analysis::analyze_divisions(scenario().topo(), map);
   // Paper: ~12.7% of ASes are served by more than one site.
   EXPECT_GT(report.multi_site_fraction(), 0.02);
@@ -262,8 +263,11 @@ TEST_F(IntegrationTest, AnycastIsOverwhelminglyStable) {
   const auto routes = scenario().route(scenario().tangled());
   core::ProbeConfig probe;
   probe.measurement_id = 1000;
-  const auto rounds = scenario().verfploeter().campaign(
-      routes, probe, 8, util::SimTime::from_minutes(15));
+  const auto rounds = core::Campaign{scenario().verfploeter(), routes}
+                          .probe(probe)
+                          .rounds(8)
+                          .interval(util::SimTime::from_minutes(15))
+                          .run();
   const auto report = analysis::analyze_stability(scenario().topo(), rounds);
 
   const double stable = report.median_stable();
@@ -300,7 +304,7 @@ TEST_F(IntegrationTest, WithdrawnSiteFailsOverCompletely) {
   const auto routes = scenario().route(degraded, analysis::kMayEpoch);
   core::ProbeConfig probe;
   probe.measurement_id = 5000;
-  const auto after = scenario().verfploeter().run_round(routes, probe, 0);
+  const auto after = scenario().verfploeter().run(routes, {probe, 0});
 
   const auto counts = after.map.per_site_counts(2);
   EXPECT_EQ(counts[1], 0u) << "withdrawn site still attracting traffic";
@@ -326,7 +330,7 @@ TEST_F(IntegrationTest, SingleSiteDeploymentCatchesEverything) {
   const auto routes = scenario().route(solo);
   core::ProbeConfig probe;
   probe.measurement_id = 5001;
-  const auto map = scenario().verfploeter().run_round(routes, probe, 0).map;
+  const auto map = scenario().verfploeter().run(routes, {probe, 0}).map;
   EXPECT_NEAR(map.fraction_to(0), 1.0, 1e-9);
   EXPECT_GT(map.mapped_blocks(), broot_map().mapped_blocks() / 2);
 }
@@ -337,7 +341,7 @@ TEST_F(IntegrationTest, TangledSitesHaveSaneCatchments) {
   const auto routes = scenario().route(scenario().tangled());
   core::ProbeConfig probe;
   probe.measurement_id = 2000;
-  const auto map = scenario().verfploeter().run_round(routes, probe, 0).map;
+  const auto map = scenario().verfploeter().run(routes, {probe, 0}).map;
   const auto counts =
       map.per_site_counts(scenario().tangled().sites.size());
   const auto gru = scenario().tangled().site_by_code("GRU");

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <cmath>
+#include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "util/clock.hpp"
@@ -9,6 +12,7 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vp::util {
 namespace {
@@ -240,6 +244,84 @@ TEST(Clock, FormatHms) {
   EXPECT_EQ(format_hms(SimTime::from_hours(1) + SimTime::from_minutes(2) +
                        SimTime::from_seconds(3)),
             "01:02:03");
+}
+
+// --- thread_pool -----------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstError) {
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable after an error.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool{1};
+  pool.wait_idle();  // nothing queued: must not hang
+}
+
+TEST(ThreadPool, ResolveThreadsKnob) {
+  EXPECT_GE(resolve_threads(0), 1u);  // 0 = hardware concurrency, at least 1
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_EQ(resolve_threads(100000), 256u);  // capped
+}
+
+TEST(RunShards, EveryShardRunsExactlyOnce) {
+  std::vector<std::atomic<int>> hits(8);
+  run_shards(8, [&hits](unsigned shard) {
+    hits[shard].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunShards, SingleShardRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  run_shards(1, [caller](unsigned shard) {
+    EXPECT_EQ(shard, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(RunShards, PropagatesWorkerException) {
+  EXPECT_THROW(run_shards(4,
+                          [](unsigned shard) {
+                            if (shard == 2) throw std::runtime_error("boom");
+                          }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, ChunksCoverRangeExactlyOnce) {
+  // Every index in [0, count) must be visited once, for chunk counts that
+  // divide evenly, unevenly, and exceed the range.
+  for (const unsigned threads : {1u, 3u, 8u, 100u}) {
+    const std::size_t count = 37;
+    std::vector<std::atomic<int>> visits(count);
+    parallel_for(count, threads,
+                 [&visits](std::size_t begin, std::size_t end) {
+                   ASSERT_LE(begin, end);
+                   for (std::size_t i = begin; i < end; ++i)
+                     visits[i].fetch_add(1, std::memory_order_relaxed);
+                 });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  parallel_for(0, 8, [](std::size_t, std::size_t) { FAIL(); });
 }
 
 }  // namespace
