@@ -31,6 +31,7 @@
 #include "analysis/stability.hpp"
 #include "core/campaign.hpp"
 #include "core/dataset_io.hpp"
+#include "sim/fault_injector.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -90,6 +91,13 @@ int usage() {
       "  --deployment NAME  broot (default) or tangled\n"
       "  --threads N        probe workers per round (default 1; 0 = all\n"
       "                     hardware threads; result is identical)\n"
+      "  --retries N        retry probes that saw no reply within the\n"
+      "                     timeout, up to N times (default 0)\n"
+      "  --timeout-ms T     per-probe reply timeout (default 1000)\n"
+      "  --backoff-ms B     base retry backoff, doubled per retry\n"
+      "                     (default 250)\n"
+      "  --fault-seed N     inject a seeded random fault plan (loss,\n"
+      "                     rate-limiting, outages, route churn)\n"
       "scan options:\n"
       "  --prepend SITE=N   AS-prepend the SITE announcement N times\n"
       "  --out FILE         write the catchment as CSV\n"
@@ -158,6 +166,42 @@ unsigned probe_threads(const Args& args) {
   return static_cast<unsigned>(args.get_long("threads", 1));
 }
 
+/// Retry/backoff knobs shared by scan-style commands and campaigns.
+void apply_retry_args(core::ProbeConfig& probe, const Args& args) {
+  probe.max_retries = static_cast<int>(args.get_long("retries", 0));
+  probe.probe_timeout_ms = args.get_double("timeout-ms", 1000.0);
+  probe.retry_backoff_ms = args.get_double("backoff-ms", 250.0);
+}
+
+/// The seeded fault plan behind --fault-seed (nullopt = run clean).
+std::optional<sim::FaultInjector> make_injector(const Args& args) {
+  if (!args.has("fault-seed")) return std::nullopt;
+  const auto seed = static_cast<std::uint64_t>(args.get_long("fault-seed", 1));
+  std::printf("injecting faults (plan seed %llu)\n",
+              static_cast<unsigned long long>(seed));
+  return sim::FaultInjector{sim::FaultPlan::from_seed(seed)};
+}
+
+void print_fault_summary(const sim::FaultStats& faults) {
+  if (faults.probes_lost + faults.replies_dropped() + faults.retries == 0)
+    return;
+  std::printf(
+      "faults: %s probes lost, %s replies dropped (%s rate-limited, %s "
+      "outage, %s withdrawn), %s diverted, %s delayed\n",
+      util::with_commas(faults.probes_lost).c_str(),
+      util::with_commas(faults.replies_dropped()).c_str(),
+      util::with_commas(faults.rate_limited).c_str(),
+      util::with_commas(faults.outage_drops).c_str(),
+      util::with_commas(faults.withdrawn).c_str(),
+      util::with_commas(faults.diverted).c_str(),
+      util::with_commas(faults.delayed).c_str());
+  if (faults.retries > 0) {
+    std::printf("retries: %s sent, %s probes recovered by a retry\n",
+                util::with_commas(faults.retries).c_str(),
+                util::with_commas(faults.recovered).c_str());
+  }
+}
+
 void print_catchment_summary(const anycast::Deployment& deployment,
                              const core::RoundResult& round) {
   std::printf("probed %s blocks, mapped %s (%s)\n",
@@ -186,12 +230,15 @@ void print_catchment_summary(const anycast::Deployment& deployment,
 
 core::RoundResult run_scan(const analysis::Scenario& scenario,
                            const anycast::Deployment& deployment,
-                           std::uint32_t round_index, unsigned threads = 1) {
+                           std::uint32_t round_index, const Args& args) {
   const auto routes = scenario.route(deployment);
   core::RoundSpec spec;
   spec.probe.measurement_id = 9000 + round_index;
+  apply_retry_args(spec.probe, args);
   spec.round = round_index;
-  spec.threads = threads;
+  spec.threads = probe_threads(args);
+  const auto injector = make_injector(args);
+  if (injector) spec.faults = &*injector;
   ProgressObserver progress;
   return scenario.verfploeter().run(routes, spec, &progress);
 }
@@ -208,8 +255,9 @@ int cmd_scan(const Args& args) {
                                 std::atoi(spec.c_str() + eq + 1));
     std::printf("prepending: %s\n", spec.c_str());
   }
-  const auto round = run_scan(scenario, deployment, 0, probe_threads(args));
+  const auto round = run_scan(scenario, deployment, 0, args);
   print_catchment_summary(deployment, round);
+  print_fault_summary(round.faults);
   if (args.has("out")) {
     const std::string path = args.get("out", "catchment.csv");
     if (!core::save_catchment(path, round, deployment)) {
@@ -229,6 +277,8 @@ int cmd_campaign(const Args& args) {
   const auto routes = scenario.route(deployment);
   core::ProbeConfig probe;
   probe.measurement_id = 100;
+  apply_retry_args(probe, args);
+  const auto injector = make_injector(args);
   ProgressObserver progress;
   const auto results =
       core::Campaign{scenario.verfploeter(), routes}
@@ -239,10 +289,15 @@ int cmd_campaign(const Args& args) {
           .concurrency(
               static_cast<unsigned>(args.get_long("concurrency", 1)))
           .observe(progress)
+          .faults(injector ? &*injector : nullptr)
           .run();
   analysis::StabilityAccumulator accumulator{scenario.topo()};
-  for (const core::RoundResult& result : results)
+  sim::FaultStats campaign_faults;
+  for (const core::RoundResult& result : results) {
     accumulator.add_round(result.map);
+    campaign_faults += result.faults;
+  }
+  print_fault_summary(campaign_faults);
   const auto report = accumulator.finish();
   std::printf("campaign: %u rounds, %.0f min apart\n", rounds, interval);
   std::printf("medians per round: stable %s, to-NR %s, from-NR %s, "
@@ -294,7 +349,7 @@ int cmd_predict(const Args& args) {
     std::printf("using imported catchment (%s blocks)\n",
                 util::with_commas(round.map.mapped_blocks()).c_str());
   } else {
-    round = run_scan(scenario, deployment, 0, probe_threads(args));
+    round = run_scan(scenario, deployment, 0, args);
   }
   const auto load = scenario.broot_load(load_date_seed(args));
   const auto split = analysis::predict_load(load, round.map,
@@ -314,7 +369,7 @@ int cmd_predict(const Args& args) {
 int cmd_recommend(const Args& args) {
   const auto scenario = make_scenario(args);
   const auto& deployment = pick_deployment(scenario, args);
-  const auto round = run_scan(scenario, deployment, 0, probe_threads(args));
+  const auto round = run_scan(scenario, deployment, 0, args);
   const auto load = scenario.broot_load(load_date_seed(args));
   const auto report =
       analysis::analyze_latency(scenario.topo(), round, load, deployment);

@@ -20,6 +20,7 @@ RoundSpec Campaign::spec_for(std::uint32_t r) const {
   spec.round = r;
   spec.start = util::SimTime{interval_.usec * r};
   spec.threads = threads_;
+  spec.faults = faults_;
   return spec;
 }
 

@@ -58,6 +58,12 @@ class Campaign {
     observer_ = &observer;
     return *this;
   }
+  /// Fault plan applied to every round (RoundSpec::faults); the injector
+  /// must outlive run(). Null (the default) runs clean.
+  Campaign& faults(const sim::FaultInjector* injector) {
+    faults_ = injector;
+    return *this;
+  }
 
   /// The fully-resolved spec for round r — the campaign's spacing and
   /// seeding policy in one place.
@@ -76,6 +82,7 @@ class Campaign {
   unsigned threads_ = 1;
   unsigned concurrency_ = 1;
   RoundObserver* observer_ = nullptr;
+  const sim::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace vp::core

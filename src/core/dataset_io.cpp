@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <istream>
@@ -33,6 +34,9 @@ std::optional<double> parse_double(std::string_view text) {
   const auto* end = text.data() + text.size();
   const auto [ptr, ec] = std::from_chars(text.data(), end, value);
   if (ec != std::errc{} || ptr != end) return std::nullopt;
+  // from_chars accepts "nan"/"inf", which would sail through the
+  // range checks below (NaN compares false to everything).
+  if (!std::isfinite(value)) return std::nullopt;
   return value;
 }
 

@@ -18,6 +18,7 @@ struct Shard {
   std::vector<Collector> collectors;  // one per site
   std::unordered_set<std::uint32_t> probed_addresses;
   std::unordered_set<std::uint32_t> probed_blocks;
+  sim::FaultStats faults;  // summed at merge: order-invariant
 };
 
 }  // namespace
@@ -73,6 +74,20 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
   // --- probe phase (sharded) ----------------------------------------------
   const util::SimTime gap =
       util::SimTime::from_seconds(1.0 / config.rate_pps);
+  // Fault/retry path: only taken when a live plan or retries are
+  // configured, so a plain round stays byte-identical to the pre-fault
+  // engine. Retry timing is a pure function of the probe's global index
+  // and attempt number (see ProbeConfig::max_retries), which keeps the
+  // sharded merge deterministic.
+  const sim::FaultInjector* injector =
+      (spec.faults != nullptr && spec.faults->plan().enabled()) ? spec.faults
+                                                                : nullptr;
+  const int max_attempts = 1 + std::max(config.max_retries, 0);
+  const bool robust = injector != nullptr || max_attempts > 1;
+  const util::SimTime timeout =
+      util::SimTime::from_seconds(config.probe_timeout_ms / 1000.0);
+  const util::SimTime window =
+      util::SimTime{gap.usec * static_cast<std::int64_t>(total_probes)};
   std::vector<Shard> shards(shard_count);
   std::mutex observer_mutex;
   std::uint64_t sent_total = 0;  // guarded by observer_mutex
@@ -100,20 +115,50 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
       const auto targets = hitlist_->targets_for(
           entry, config.extra_targets_per_block, target_seed);
       for (const net::Ipv4Address target : targets) {
-        net::ProbePayload payload;
-        payload.measurement_id = config.measurement_id;
-        payload.tx_time_usec = now.usec;
-        payload.original_target = target;
-        const net::PacketBytes probe = net::build_echo_request(
-            deployment.measurement_address, target,
-            static_cast<std::uint16_t>(config.measurement_id & 0xffff),
-            static_cast<std::uint16_t>(probe_index & 0xffff), payload);
         shard.probed_addresses.insert(target.value());
         shard.probed_blocks.insert(entry.block.index());
-        for (sim::Delivery& delivery :
-             internet_->probe(routes, probe.data, now, spec.round)) {
-          shard.collectors[static_cast<std::size_t>(delivery.site)].receive(
-              delivery.packet.data, delivery.arrival);
+        util::SimTime attempt_tx = now;
+        double backoff_ms = config.retry_backoff_ms;
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          if (attempt > 0) ++shard.faults.retries;
+          bool answered_in_time = false;
+          if (injector != nullptr &&
+              injector->drops_probe(target, spec.round,
+                                    static_cast<std::uint32_t>(attempt))) {
+            ++shard.faults.probes_lost;
+          } else {
+            net::ProbePayload payload;
+            payload.measurement_id = config.measurement_id;
+            payload.tx_time_usec = attempt_tx.usec;
+            payload.original_target = target;
+            const net::PacketBytes probe = net::build_echo_request(
+                deployment.measurement_address, target,
+                static_cast<std::uint16_t>(config.measurement_id & 0xffff),
+                static_cast<std::uint16_t>(probe_index & 0xffff), payload);
+            auto deliveries =
+                internet_->probe(routes, probe.data, attempt_tx, spec.round);
+            if (injector != nullptr) {
+              injector->apply_reply_faults(
+                  deliveries, entry.block, spec.round,
+                  static_cast<std::uint32_t>(attempt), attempt_tx,
+                  site_count, spec.start, window, shard.faults);
+            } else if (robust) {
+              shard.faults.replies_generated += deliveries.size();
+            }
+            for (sim::Delivery& delivery : deliveries) {
+              if (delivery.arrival <= attempt_tx + timeout)
+                answered_in_time = true;
+              shard.collectors[static_cast<std::size_t>(delivery.site)]
+                  .receive(delivery.packet.data, delivery.arrival);
+            }
+          }
+          if (answered_in_time) {
+            if (attempt > 0) ++shard.faults.recovered;
+            break;
+          }
+          attempt_tx += timeout + util::SimTime::from_seconds(
+                                      backoff_ms / 1000.0);
+          backoff_ms *= config.retry_backoff_factor;
         }
         ++probe_index;
         now += gap;
@@ -129,14 +174,13 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
   if (observer != nullptr)
     observer->on_probe_progress(spec, total_probes, total_probes);
 
-  result.probing_duration =
-      util::SimTime{gap.usec * static_cast<std::int64_t>(total_probes)};
-  result.map.probes_sent = total_probes;
+  result.probing_duration = window;
   result.map.measurement_id = config.measurement_id;
 
   // --- merge --------------------------------------------------------------
   // Shard address/block sets are disjoint (each hitlist entry lives in
-  // exactly one chunk), so merging splices nodes without copies.
+  // exactly one chunk), so merging splices nodes without copies. Fault
+  // counters are sums, so shard order cannot affect them.
   std::unordered_set<std::uint32_t> probed_addresses;
   std::unordered_set<std::uint32_t> probed_blocks;
   probed_addresses.reserve(static_cast<std::size_t>(total_probes) * 2);
@@ -144,8 +188,11 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
   for (Shard& shard : shards) {
     probed_addresses.merge(shard.probed_addresses);
     probed_blocks.merge(shard.probed_blocks);
+    result.faults += shard.faults;
   }
+  result.map.probes_sent = total_probes + result.faults.retries;
   result.map.blocks_probed = probed_blocks.size();
+  if (observer != nullptr) observer->on_fault_stats(spec, result.faults);
 
   // Per site, concatenate shard records in shard order: chunks are
   // contiguous in emission order, so this IS the serial receive order.

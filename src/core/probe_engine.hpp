@@ -24,6 +24,12 @@
 // Equal-arrival ties therefore resolve identically for any thread count,
 // and the CatchmentMap, CleaningStats, and per-block RTTs match the
 // one-thread run bit for bit.
+//
+// Faults and retries preserve the guarantee: the fault plan
+// (sim/fault_injector.hpp) is const-pure like the rest of sim/, retry
+// attempt times are pure functions of (global probe index, attempt), and
+// fault counters are per-shard sums — so a faulty, retrying round is
+// still bit-identical for any thread count.
 #pragma once
 
 #include "bgp/routing.hpp"

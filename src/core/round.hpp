@@ -14,6 +14,7 @@
 
 #include "core/catchment.hpp"
 #include "net/ipv4.hpp"
+#include "sim/fault_injector.hpp"
 #include "util/clock.hpp"
 
 namespace vp::core {
@@ -29,6 +30,21 @@ struct ProbeConfig {
   /// Extra addresses probed per block (0 = the paper's single-probe
   /// design; >0 = the Trinocular-style ablation).
   int extra_targets_per_block = 0;
+  /// Retry attempts per probe that saw no reply within the timeout
+  /// (0 = the paper's fire-once design; §3.1 leaves retries as future
+  /// work — we implement them). Retries never shift other probes' tx
+  /// times: attempt a of probe k goes out at
+  ///   start + k/rate + a*timeout + backoff*(factor^0 + ... + factor^(a-1)),
+  /// a pure function of (k, a), which is what keeps the sharded merge
+  /// bit-identical for any thread count.
+  int max_retries = 0;
+  /// How long the prober waits for a reply before declaring an attempt
+  /// silent and (if attempts remain) retrying.
+  double probe_timeout_ms = 1'000.0;
+  /// Base backoff added on top of the timeout before each retry.
+  double retry_backoff_ms = 250.0;
+  /// Exponential growth of the backoff across successive retries.
+  double retry_backoff_factor = 2.0;
 };
 
 /// Everything that defines one measurement round. Replaces the old
@@ -43,6 +59,10 @@ struct RoundSpec {
   /// Probe-phase worker shards: 1 = serial, 0 = one per hardware thread.
   /// Never affects the result, only wall-clock time.
   unsigned threads = 1;
+  /// Optional fault plan layered over the simulated Internet (must
+  /// outlive the run). Null or a disabled plan leaves every packet and
+  /// timestamp byte-identical to the fault-free engine.
+  const sim::FaultInjector* faults = nullptr;
 };
 
 /// Outcome of one round: the cleaned catchment map plus the raw per-site
@@ -55,6 +75,9 @@ struct RoundResult {
   std::unordered_map<net::Block24, float> rtt_ms;  // kept replies only
   util::SimTime started;
   util::SimTime probing_duration;  // time to emit all probes at rate_pps
+  /// Injected-fault and retry accounting; all-zero when the round ran
+  /// without a fault plan and without retries.
+  sim::FaultStats faults;
 };
 
 /// Progress and accounting callbacks from a running round. Default
@@ -82,6 +105,14 @@ class RoundObserver {
   virtual void on_replies_collected(
       const RoundSpec& spec, const std::vector<std::uint64_t>& per_site) {
     (void)spec, (void)per_site;
+  }
+
+  /// Fault and retry accounting for the probe phase (all-zero when the
+  /// round ran clean). Called once per round, after the workers joined
+  /// and before on_replies_collected.
+  virtual void on_fault_stats(const RoundSpec& spec,
+                              const sim::FaultStats& faults) {
+    (void)spec, (void)faults;
   }
 
   /// The round is fully cleaned; `result.map.cleaning` holds the stats.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "analysis/scenario.hpp"
@@ -112,6 +113,69 @@ TEST(DatasetIo, FileRoundTrip) {
   EXPECT_EQ(loaded->map.mapped_blocks(), 3u);
   EXPECT_FALSE(load_catchment("/nonexistent/nope.csv", deployment));
   std::remove(path.c_str());
+}
+
+TEST(DatasetIo, TruncatedCatchmentFileIsRejectedCleanly) {
+  // A partially-written dataset (disk full, killed exporter) must fail
+  // the load as a whole, never crash or return a half-read map.
+  const auto deployment = test_deployment();
+  std::stringstream full;
+  write_catchment_csv(full, small_round(), deployment);
+  const std::string text = full.str();
+  const std::string path = "/tmp/vp_dataset_io_truncated.csv";
+  // Chop so the surviving tail is a structurally broken row (losing
+  // only trailing digits would still parse): mid-header, mid-prefix of
+  // the last row, and right after the last row's site field.
+  for (const std::size_t keep :
+       {std::size_t{8}, text.rfind('\n', text.size() - 2) + 3,
+        text.rfind(',')}) {
+    std::ofstream out(path, std::ios::trunc);
+    out << text.substr(0, keep);
+    out.close();
+    EXPECT_FALSE(load_catchment(path, deployment)) << "kept " << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, BadMagicIsRejectedCleanly) {
+  // Wrong "magic" (header line) — including a load CSV handed to the
+  // catchment reader and vice versa — must be a clean nullopt.
+  const auto deployment = test_deployment();
+  std::stringstream load_header{"block,daily_queries,good_fraction\n"};
+  EXPECT_FALSE(read_catchment_csv(load_header, deployment));
+  std::stringstream catchment_header{"block,site,rtt_ms\n"};
+  EXPECT_FALSE(read_load_csv(catchment_header));
+  std::stringstream bom{"\xef\xbb\xbf"
+                        "block,site,rtt_ms\n"};
+  EXPECT_FALSE(read_catchment_csv(bom, deployment));
+  std::stringstream binary{std::string("\x89PNG\r\n\x1a\n\0\0\0", 11)};
+  EXPECT_FALSE(read_catchment_csv(binary, deployment));
+  EXPECT_FALSE(read_load_csv(binary));
+}
+
+TEST(DatasetIo, CorruptedRowsAreRejectedCleanly) {
+  const auto deployment = test_deployment();
+  const auto reject = [&](const std::string& row) {
+    std::stringstream stream{"block,site,rtt_ms\n" + row + "\n"};
+    EXPECT_FALSE(read_catchment_csv(stream, deployment)) << row;
+  };
+  reject("1.2.3.0/24,LAX,1.0,extra-field");
+  reject("1.2.3.0/24,LAX,");                       // empty numeric field
+  reject(",,");                                    // all fields empty
+  reject("1.2.3.0/24,LAX,nan");                    // non-finite RTT
+  reject("1.2.3.0/24,LAX,1e");                     // dangling exponent
+  reject("999.2.3.0/24,LAX,1.0");                  // octet out of range
+  reject(std::string("1.2.3.0/24,L\0X,1.0", 18));  // embedded NUL
+  reject("1.2.3.0/24,LAX,1.0\r");                  // CRLF artifacts
+
+  const auto reject_load = [&](const std::string& row) {
+    std::stringstream stream{"block,daily_queries,good_fraction\n" + row +
+                             "\n"};
+    EXPECT_FALSE(read_load_csv(stream)) << row;
+  };
+  reject_load("1.2.3.0/24,abc,0.5");
+  reject_load("1.2.3.0/24,10,0.5,extra");
+  reject_load("garbage row with no commas at all");
 }
 
 TEST(DatasetIo, MeasuredRoundSurvivesExportImport) {
