@@ -1,4 +1,3 @@
-#include <fstream>
 // vpctl — command-line driver for the Verfploeter library.
 //
 // Runs measurements against the simulated Internet and produces the same
@@ -21,6 +20,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,9 +29,11 @@
 #include "analysis/load_analysis.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stability.hpp"
+#include "anycast/deployment.hpp"
 #include "core/campaign.hpp"
 #include "core/dataset_io.hpp"
 #include "sim/fault_injector.hpp"
+#include "util/atomic_file.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -58,6 +60,9 @@ struct Args {
   }
 };
 
+/// Flags that take no value.
+bool is_boolean_flag(std::string_view key) { return key == "resume"; }
+
 std::optional<Args> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   Args args;
@@ -66,11 +71,21 @@ std::optional<Args> parse_args(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (!arg.starts_with("--")) return std::nullopt;
     const std::string key{arg.substr(2)};
+    if (is_boolean_flag(key)) {
+      args.options[key] = "1";
+      continue;
+    }
     if (i + 1 >= argc) return std::nullopt;
     args.options[key] = argv[++i];
   }
   return args;
 }
+
+/// Exit codes beyond 0/1/2 (ok / runtime error / usage), so scripts and
+/// the crash harness can tell resume outcomes apart.
+constexpr int kExitResumed = 3;             // completed after a resume
+constexpr int kExitFingerprintMismatch = 4; // journal is another campaign's
+constexpr int kExitCorruptJournal = 5;      // checksum failure, refused
 
 int usage() {
   std::fprintf(
@@ -105,6 +120,14 @@ int usage() {
       "  --rounds N         number of rounds (default 16)\n"
       "  --interval-min M   minutes between rounds (default 15)\n"
       "  --concurrency N    rounds measured in parallel (default 1)\n"
+      "  --journal PATH     append each completed round to a crash-safe\n"
+      "                     journal; with --resume, rounds already in the\n"
+      "                     journal are loaded instead of re-run\n"
+      "  --resume           resume from an existing --journal file\n"
+      "  --out FILE         write every round's catchment as one CSV\n"
+      "                     (atomic replace; byte-stable across resumes)\n"
+      "campaign exit codes: 0 ran fresh, 3 completed after a resume,\n"
+      "  4 journal belongs to a different config, 5 journal corrupt\n"
       "predict options:\n"
       "  --catchment FILE   reuse an exported catchment instead of scanning\n"
       "  --date apr|may     which load dataset to weight with (default may)\n"
@@ -280,17 +303,47 @@ int cmd_campaign(const Args& args) {
   apply_retry_args(probe, args);
   const auto injector = make_injector(args);
   ProgressObserver progress;
-  const auto results =
-      core::Campaign{scenario.verfploeter(), routes}
-          .probe(probe)
-          .rounds(rounds)
-          .interval(util::SimTime::from_minutes(interval))
-          .threads(probe_threads(args))
-          .concurrency(
-              static_cast<unsigned>(args.get_long("concurrency", 1)))
-          .observe(progress)
-          .faults(injector ? &*injector : nullptr)
-          .run();
+  core::Campaign campaign{scenario.verfploeter(), routes};
+  campaign.probe(probe)
+      .rounds(rounds)
+      .interval(util::SimTime::from_minutes(interval))
+      .threads(probe_threads(args))
+      .concurrency(static_cast<unsigned>(args.get_long("concurrency", 1)))
+      .observe(progress)
+      .faults(injector ? &*injector : nullptr);
+  if (args.has("journal")) {
+    campaign.journal(args.get("journal", ""),
+                     anycast::fingerprint(deployment));
+    campaign.resume(args.has("resume"));
+  }
+  const auto outcome = campaign.run_reported();
+  switch (outcome.journal) {
+    case core::JournalStatus::kFingerprintMismatch:
+      std::fprintf(stderr,
+                   "error: journal was written by a different campaign "
+                   "config; refusing to resume\n");
+      return kExitFingerprintMismatch;
+    case core::JournalStatus::kCorrupt:
+      std::fprintf(stderr,
+                   "error: journal failed its checksum (corrupt record); "
+                   "refusing to resume\n");
+      return kExitCorruptJournal;
+    case core::JournalStatus::kIoError:
+      std::fprintf(stderr, "error: cannot write journal\n");
+      return 1;
+    case core::JournalStatus::kResumed:
+      std::printf("resumed: %u rounds from journal, %u re-run",
+                  outcome.rounds_loaded, outcome.rounds_executed);
+      if (outcome.truncated_bytes > 0) {
+        std::printf(" (%llu torn bytes truncated)",
+                    static_cast<unsigned long long>(outcome.truncated_bytes));
+      }
+      std::printf("\n");
+      break;
+    default:
+      break;
+  }
+  const auto& results = outcome.results;
   analysis::StabilityAccumulator accumulator{scenario.topo()};
   sim::FaultStats campaign_faults;
   for (const core::RoundResult& result : results) {
@@ -313,7 +366,23 @@ int cmd_campaign(const Args& args) {
                    util::with_commas(report.by_as[i].flips)});
   }
   std::printf("top flipping ASes:\n%s", table.to_string().c_str());
-  return 0;
+  if (args.has("out")) {
+    // All rounds in one file: the crash harness byte-compares this
+    // against an uninterrupted run, so it must cover every round, in
+    // order, and be written atomically.
+    std::ostringstream all;
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+      all << "# round " << r << '\n';
+      core::write_catchment_csv(all, results[r], deployment);
+    }
+    const std::string path = args.get("out", "campaign.csv");
+    if (!util::atomic_write_file(path, all.str())) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("campaign catchments written to %s\n", path.c_str());
+  }
+  return outcome.journal == core::JournalStatus::kResumed ? kExitResumed : 0;
 }
 
 int cmd_atlas(const Args& args) {
@@ -393,12 +462,10 @@ int cmd_export_load(const Args& args) {
   const auto scenario = make_scenario(args);
   const auto load = scenario.broot_load(load_date_seed(args));
   const std::string path = args.get("out", "load.csv");
-  std::ofstream out(path);
-  if (!out) {
+  if (!core::save_load_csv(path, load)) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     return 1;
   }
-  core::write_load_csv(out, load);
   std::printf("wrote %zu querying blocks (%s q/day) to %s\n",
               load.blocks().size(),
               util::si_count(load.total_daily_queries()).c_str(),

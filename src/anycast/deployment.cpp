@@ -1,10 +1,39 @@
 #include "anycast/deployment.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "topology/generator.hpp"
+#include "util/rng.hpp"
 
 namespace vp::anycast {
+
+std::uint64_t fingerprint(const Deployment& d) {
+  const auto mix_str = [](std::uint64_t f, std::string_view s) {
+    f = util::hash_combine(f, s.size());
+    for (const char c : s)
+      f = util::hash_combine(f, static_cast<unsigned char>(c));
+    return f;
+  };
+  std::uint64_t f = mix_str(0x6465706c6f79ULL, d.name);  // "deploy"
+  f = util::hash_combine(
+      f, (std::uint64_t{d.service_prefix.base().value()} << 8) |
+             d.service_prefix.length());
+  f = util::hash_combine(f, d.measurement_address.value());
+  f = util::hash_combine(f, d.origin_asn.value);
+  f = util::hash_combine(f, d.sites.size());
+  for (const AnycastSite& site : d.sites) {
+    f = mix_str(f, site.code);
+    f = util::hash_combine(f, site.upstream.value);
+    f = util::hash_combine(f, std::bit_cast<std::uint64_t>(site.location.lat));
+    f = util::hash_combine(f, std::bit_cast<std::uint64_t>(site.location.lon));
+    f = util::hash_combine(f, static_cast<std::uint64_t>(
+                                  static_cast<std::int64_t>(site.prepend)));
+    f = util::hash_combine(f, (site.enabled ? 2u : 0u) |
+                                  (site.hidden ? 1u : 0u));
+  }
+  return f;
+}
 
 std::size_t Deployment::active_site_count() const {
   return static_cast<std::size_t>(

@@ -52,6 +52,12 @@ struct Deployment {
   Deployment with_prepend(std::string_view site_code, int prepend) const;
 };
 
+/// Order-sensitive 64-bit hash of everything about a deployment that can
+/// change measurement results (prefix, sites, prepends, locations,
+/// enabled/hidden flags). Campaign journals fold it into their manifest
+/// fingerprint so a journal is never resumed against different sites.
+std::uint64_t fingerprint(const Deployment& deployment);
+
 /// B-Root after its May 2017 anycast deployment: LAX + MIA (Table 3).
 Deployment make_broot(const topology::Topology& topo);
 

@@ -1,6 +1,8 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 
 #include "core/verfploeter.hpp"
 #include "util/rng.hpp"
@@ -24,24 +26,71 @@ RoundSpec Campaign::spec_for(std::uint32_t r) const {
   return spec;
 }
 
+std::uint64_t Campaign::fingerprint() const {
+  std::uint64_t f = 0x76706a6f75726eULL;  // "vpjourn"
+  f = util::hash_combine(f, probe_fingerprint(base_));
+  f = util::hash_combine(f, rounds_);
+  f = util::hash_combine(f, static_cast<std::uint64_t>(interval_.usec));
+  f = util::hash_combine(f, threads_);
+  f = util::hash_combine(f, fault_fingerprint(faults_));
+  f = util::hash_combine(f, deployment_hash_);
+  return f;
+}
+
 std::vector<RoundResult> Campaign::run() const {
-  std::vector<RoundResult> out(rounds_);
+  return run_reported().results;
+}
+
+CampaignReport Campaign::run_reported() const {
+  CampaignReport report;
+  report.results.resize(rounds_);
+  CampaignJournal journal;
+  std::vector<bool> done(rounds_, false);
+  if (!journal_path_.empty()) {
+    const JournalManifest manifest{fingerprint(), rounds_};
+    auto opened = journal.open(journal_path_, manifest, resume_);
+    report.journal = opened.status;
+    report.truncated_bytes = opened.truncated_bytes;
+    if (!report.ok()) {
+      report.results.clear();
+      return report;
+    }
+    for (auto& [r, result] : opened.completed) {
+      report.results[r] = std::move(result);
+      done[r] = true;
+      ++report.rounds_loaded;
+    }
+  }
+  report.rounds_executed = rounds_ - report.rounds_loaded;
+
+  // Appends are serialized; rounds completing out of order under
+  // concurrency > 1 interleave their records in completion order, which
+  // is fine — records carry round ids and resume takes the set.
+  std::mutex journal_mutex;
+  std::atomic<bool> append_ok{true};
+  const auto run_one = [&](std::uint32_t r) {
+    RoundResult result = engine_->run(*routes_, spec_for(r), observer_);
+    if (journal.is_open()) {
+      std::lock_guard lock{journal_mutex};
+      if (!journal.append_round(r, result)) append_ok = false;
+    }
+    report.results[r] = std::move(result);
+  };
+
   const unsigned in_flight =
       std::min(util::resolve_threads(concurrency_),
                std::max<std::uint32_t>(rounds_, 1));
   if (in_flight <= 1) {
     for (std::uint32_t r = 0; r < rounds_; ++r)
-      out[r] = engine_->run(*routes_, spec_for(r), observer_);
-    return out;
+      if (!done[r]) run_one(r);
+  } else {
+    util::ThreadPool pool{in_flight};
+    for (std::uint32_t r = 0; r < rounds_; ++r)
+      if (!done[r]) pool.submit([&run_one, r] { run_one(r); });
+    pool.wait_idle();
   }
-  util::ThreadPool pool{in_flight};
-  for (std::uint32_t r = 0; r < rounds_; ++r) {
-    pool.submit([this, r, &out] {
-      out[r] = engine_->run(*routes_, spec_for(r), observer_);
-    });
-  }
-  pool.wait_idle();
-  return out;
+  if (!append_ok) report.journal = JournalStatus::kIoError;
+  return report;
 }
 
 }  // namespace vp::core

@@ -7,17 +7,46 @@
 // by construction — every stochastic process is a pure function of
 // (block, round, seed) — so they can run concurrently; results land in
 // round order regardless of completion order.
+//
+// With journal(path) set, every completed round is appended to a
+// crash-safe CampaignJournal (core/journal.hpp) and resume(true) skips
+// rounds already journaled — because rounds are pure functions of their
+// spec, a kill → resume cycle produces results bit-identical to an
+// uninterrupted run. Under concurrency > 1 rounds complete out of order,
+// so resume honors the journaled *set* of round ids, not a high-water
+// mark, and a partially-written (torn) round record simply re-runs.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/journal.hpp"
 #include "core/probe_engine.hpp"
 #include "core/round.hpp"
 
 namespace vp::core {
 
 class Verfploeter;
+
+/// What a journaled run did, alongside the results themselves.
+struct CampaignReport {
+  /// results[r] is round r's result whatever the completion order.
+  /// Empty when ok() is false (resume was refused).
+  std::vector<RoundResult> results;
+  JournalStatus journal = JournalStatus::kDisabled;
+  std::uint32_t rounds_loaded = 0;    ///< taken from the journal
+  std::uint32_t rounds_executed = 0;  ///< actually run by this process
+  std::uint64_t truncated_bytes = 0;  ///< torn tail discarded on resume
+
+  /// False when the journal refused (mismatch/corruption) or appends
+  /// failed; refused runs carry no results.
+  bool ok() const {
+    return journal == JournalStatus::kDisabled ||
+           journal == JournalStatus::kFresh ||
+           journal == JournalStatus::kResumed;
+  }
+};
 
 class Campaign {
  public:
@@ -64,14 +93,40 @@ class Campaign {
     faults_ = injector;
     return *this;
   }
+  /// Journal completed rounds to `path`. `deployment_hash` folds the
+  /// deployment's identity (anycast::fingerprint) into the manifest so a
+  /// journal can never be resumed against different sites. Empty path
+  /// (the default) disables journaling.
+  Campaign& journal(std::string path, std::uint64_t deployment_hash = 0) {
+    journal_path_ = std::move(path);
+    deployment_hash_ = deployment_hash;
+    return *this;
+  }
+  /// Attempt to resume from an existing journal at the journal path;
+  /// without it a pre-existing journal is overwritten.
+  Campaign& resume(bool attempt = true) {
+    resume_ = attempt;
+    return *this;
+  }
 
   /// The fully-resolved spec for round r — the campaign's spacing and
   /// seeding policy in one place.
   RoundSpec spec_for(std::uint32_t r) const;
 
+  /// Fingerprint of everything that determines results: probe config,
+  /// round count, interval, threads, fault plan, deployment hash. The
+  /// journal manifest stores it; resume refuses on mismatch.
+  std::uint64_t fingerprint() const;
+
   /// Runs all rounds; out[r] is round r's result whatever the
-  /// completion order.
+  /// completion order. Ignores any journal refusal (use run_reported()
+  /// when journaling).
   std::vector<RoundResult> run() const;
+
+  /// Runs all rounds with full journal/resume reporting. When resume is
+  /// refused (fingerprint mismatch, corruption) no rounds run and the
+  /// report carries the refusal status with empty results.
+  CampaignReport run_reported() const;
 
  private:
   const ProbeEngine* engine_;
@@ -83,6 +138,9 @@ class Campaign {
   unsigned concurrency_ = 1;
   RoundObserver* observer_ = nullptr;
   const sim::FaultInjector* faults_ = nullptr;
+  std::string journal_path_;
+  std::uint64_t deployment_hash_ = 0;
+  bool resume_ = false;
 };
 
 }  // namespace vp::core

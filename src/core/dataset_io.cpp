@@ -8,7 +8,10 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
+
+#include "util/atomic_file.hpp"
 
 namespace vp::core {
 
@@ -90,14 +93,19 @@ std::optional<RoundResult> read_catchment_csv(
   return round;
 }
 
-void write_load_csv(std::ostream& out, const dnsload::LoadModel& load) {
+void write_load_csv(std::ostream& out,
+                    std::span<const dnsload::BlockLoad> blocks) {
   out << "block,daily_queries,good_fraction\n";
   char buf[64];
-  for (const dnsload::BlockLoad& bl : load.blocks()) {
+  for (const dnsload::BlockLoad& bl : blocks) {
     std::snprintf(buf, sizeof buf, "%.6g,%.4f", bl.daily_queries,
                   static_cast<double>(bl.good_fraction));
     out << bl.block.prefix().to_string() << ',' << buf << '\n';
   }
+}
+
+void write_load_csv(std::ostream& out, const dnsload::LoadModel& load) {
+  write_load_csv(out, load.blocks());
 }
 
 std::optional<LoadDataset> read_load_csv(std::istream& in) {
@@ -107,6 +115,7 @@ std::optional<LoadDataset> read_load_csv(std::istream& in) {
     return std::nullopt;
   }
   LoadDataset dataset;
+  std::unordered_set<net::Block24> seen;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const auto fields = split_csv(line);
@@ -120,6 +129,9 @@ std::optional<LoadDataset> read_load_csv(std::istream& in) {
     }
     dnsload::BlockLoad bl;
     bl.block = net::Block24{prefix->base().value() >> 8};
+    // A repeated block would silently double-count into
+    // total_daily_queries; reject, matching the catchment reader.
+    if (!seen.insert(bl.block).second) return std::nullopt;
     bl.daily_queries = *queries;
     bl.good_fraction = static_cast<float>(*good);
     dataset.total_daily_queries += bl.daily_queries;
@@ -130,10 +142,15 @@ std::optional<LoadDataset> read_load_csv(std::istream& in) {
 
 bool save_catchment(const std::string& path, const RoundResult& round,
                     const anycast::Deployment& deployment) {
-  std::ofstream out(path);
-  if (!out) return false;
+  std::ostringstream out;
   write_catchment_csv(out, round, deployment);
-  return static_cast<bool>(out);
+  return util::atomic_write_file(path, out.str());
+}
+
+bool save_load_csv(const std::string& path, const dnsload::LoadModel& load) {
+  std::ostringstream out;
+  write_load_csv(out, load);
+  return util::atomic_write_file(path, out.str());
 }
 
 std::optional<RoundResult> load_catchment(

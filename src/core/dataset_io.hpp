@@ -11,6 +11,7 @@
 
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "anycast/deployment.hpp"
@@ -30,6 +31,8 @@ std::optional<RoundResult> read_catchment_csv(
 
 /// Writes a load model's per-block volumes as CSV.
 void write_load_csv(std::ostream& out, const dnsload::LoadModel& load);
+void write_load_csv(std::ostream& out,
+                    std::span<const dnsload::BlockLoad> blocks);
 
 /// A load dataset read back from CSV (the subset of LoadModel the
 /// analyses need, without regenerating the model).
@@ -38,11 +41,16 @@ struct LoadDataset {
   double total_daily_queries = 0.0;
 };
 
+/// Rejects duplicate block rows (they would double-count into
+/// total_daily_queries), like the catchment reader does.
 std::optional<LoadDataset> read_load_csv(std::istream& in);
 
 /// Convenience file wrappers; return false / nullopt on I/O failure.
+/// Saves go through util::atomic_write_file — a crash mid-save leaves
+/// either the previous file or the complete new one, never a torn CSV.
 bool save_catchment(const std::string& path, const RoundResult& round,
                     const anycast::Deployment& deployment);
+bool save_load_csv(const std::string& path, const dnsload::LoadModel& load);
 std::optional<RoundResult> load_catchment(
     const std::string& path, const anycast::Deployment& deployment);
 

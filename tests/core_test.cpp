@@ -158,6 +158,45 @@ TEST_F(CoreTest, CampaignProducesDistinctRounds) {
   }
 }
 
+TEST_F(CoreTest, ConcurrentCampaignMatchesSequentialInRoundOrder) {
+  // Rounds completing out of order under concurrency > 1 must still land
+  // in round order and match the sequential run exactly — this is the
+  // determinism the campaign journal's resume guarantee rests on.
+  ProbeConfig probe;
+  probe.measurement_id = 800;
+  const auto make = [&](unsigned concurrency) {
+    return Campaign{scenario().verfploeter(), routes()}
+        .probe(probe)
+        .rounds(5)
+        .interval(util::SimTime::from_minutes(15))
+        .concurrency(concurrency)
+        .run();
+  };
+  const auto sequential = make(1);
+  for (const unsigned concurrency : {2u, 5u}) {
+    const auto concurrent = make(concurrency);
+    ASSERT_EQ(concurrent.size(), sequential.size());
+    for (std::size_t r = 0; r < sequential.size(); ++r) {
+      // Round order, not completion order.
+      EXPECT_EQ(concurrent[r].map.measurement_id, 800u + r);
+      EXPECT_EQ(concurrent[r].map.mapped_blocks(),
+                sequential[r].map.mapped_blocks());
+      EXPECT_EQ(concurrent[r].map.cleaning.raw_replies,
+                sequential[r].map.cleaning.raw_replies);
+      EXPECT_EQ(concurrent[r].map.cleaning.kept,
+                sequential[r].map.cleaning.kept);
+      EXPECT_EQ(concurrent[r].raw_replies_per_site,
+                sequential[r].raw_replies_per_site);
+      for (const auto& [block, site] : sequential[r].map.entries())
+        EXPECT_EQ(concurrent[r].map.site_of(block), site);
+      for (const auto& [block, rtt] : sequential[r].rtt_ms) {
+        ASSERT_TRUE(concurrent[r].rtt_ms.count(block));
+        EXPECT_EQ(concurrent[r].rtt_ms.at(block), rtt);
+      }
+    }
+  }
+}
+
 TEST(Collector, CountsMalformedPackets) {
   Collector collector{0};
   const std::vector<std::uint8_t> garbage{0x01, 0x02, 0x03};

@@ -2,9 +2,11 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "analysis/scenario.hpp"
 #include "core/dataset_io.hpp"
+#include "util/rng.hpp"
 
 namespace vp::core {
 namespace {
@@ -176,6 +178,111 @@ TEST(DatasetIo, CorruptedRowsAreRejectedCleanly) {
   reject_load("1.2.3.0/24,abc,0.5");
   reject_load("1.2.3.0/24,10,0.5,extra");
   reject_load("garbage row with no commas at all");
+}
+
+TEST(DatasetIo, LoadCsvRejectsDuplicateBlockRows) {
+  // A repeated block row must fail the load: silently accepting it would
+  // double-count the block into total_daily_queries.
+  std::stringstream dup{
+      "block,daily_queries,good_fraction\n"
+      "1.2.3.0/24,10,0.5\n"
+      "4.5.6.0/24,20,0.5\n"
+      "1.2.3.0/24,10,0.5\n"};
+  EXPECT_FALSE(read_load_csv(dup));
+  std::stringstream unique{
+      "block,daily_queries,good_fraction\n"
+      "1.2.3.0/24,10,0.5\n"
+      "4.5.6.0/24,20,0.5\n"};
+  const auto dataset = read_load_csv(unique);
+  ASSERT_TRUE(dataset);
+  EXPECT_DOUBLE_EQ(dataset->total_daily_queries, 30.0);
+}
+
+// ---- randomized round-trip properties ---------------------------------
+//
+// write_* → read_* must be the identity up to the declared formatting
+// precision, and a second write must be byte-identical to the first
+// (the formats are fixpoints of their own parse→print cycle).
+
+TEST(DatasetIo, CatchmentRoundTripPropertyRandomized) {
+  const auto deployment = test_deployment();
+  util::Rng rng{2024};
+  // RTT edge values the formatter must survive: zero, sub-precision
+  // fractions (round to 0.00), large values, and exact fractions.
+  const float edge_rtts[] = {0.0f, 0.004f, 0.25f, 123.456f, 987654.3f};
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    RoundResult round;
+    const int entries = 1 + static_cast<int>(rng.below(60));
+    for (int i = 0; i < entries; ++i) {
+      const net::Block24 block{static_cast<std::uint32_t>(rng.below(1 << 24))};
+      if (round.map.contains(block)) continue;
+      round.map.set(block, static_cast<anycast::SiteId>(
+                               rng.below(deployment.sites.size())));
+      const float rtt = rng.chance(0.2)
+                            ? edge_rtts[rng.below(std::size(edge_rtts))]
+                            : static_cast<float>(rng.uniform(0.0, 500.0));
+      if (rng.chance(0.9)) round.rtt_ms.emplace(block, rtt);
+    }
+    std::stringstream first;
+    write_catchment_csv(first, round, deployment);
+    const auto loaded = read_catchment_csv(first, deployment);
+    ASSERT_TRUE(loaded) << "iteration " << iteration;
+    ASSERT_EQ(loaded->map.mapped_blocks(), round.map.mapped_blocks());
+    for (const auto& [block, site] : round.map.entries()) {
+      EXPECT_EQ(loaded->map.site_of(block), site);
+      const auto rtt = round.rtt_ms.find(block);
+      // %.2f rounds to a hundredth; absent RTTs read back as 0.00.
+      EXPECT_NEAR(loaded->rtt_ms.at(block),
+                  rtt == round.rtt_ms.end() ? 0.0f : rtt->second, 0.0051)
+          << "iteration " << iteration;
+    }
+    std::stringstream second;
+    write_catchment_csv(second, *loaded, deployment);
+    EXPECT_EQ(first.str(), second.str()) << "iteration " << iteration;
+  }
+}
+
+TEST(DatasetIo, LoadRoundTripPropertyRandomized) {
+  util::Rng rng{4711};
+  const double edge_queries[] = {0.0, 0.25, 1.0, 9.87654e11, 1580.5};
+  const float edge_good[] = {0.0f, 1.0f, 0.4567f};
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    std::vector<dnsload::BlockLoad> blocks;
+    std::unordered_set<std::uint32_t> used;
+    const int entries = 1 + static_cast<int>(rng.below(60));
+    for (int i = 0; i < entries; ++i) {
+      const auto index = static_cast<std::uint32_t>(rng.below(1 << 24));
+      if (!used.insert(index).second) continue;
+      dnsload::BlockLoad bl;
+      bl.block = net::Block24{index};
+      bl.daily_queries = rng.chance(0.2)
+                             ? edge_queries[rng.below(std::size(edge_queries))]
+                             : rng.pareto(1.0, 1.2);
+      bl.good_fraction = rng.chance(0.2)
+                             ? edge_good[rng.below(std::size(edge_good))]
+                             : static_cast<float>(rng.uniform());
+      blocks.push_back(bl);
+    }
+    std::stringstream first;
+    write_load_csv(first, blocks);
+    const auto loaded = read_load_csv(first);
+    ASSERT_TRUE(loaded) << "iteration " << iteration;
+    ASSERT_EQ(loaded->blocks.size(), blocks.size());
+    double expected_total = 0.0;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      EXPECT_EQ(loaded->blocks[i].block, blocks[i].block);
+      // %.6g keeps six significant digits.
+      EXPECT_NEAR(loaded->blocks[i].daily_queries, blocks[i].daily_queries,
+                  blocks[i].daily_queries * 1e-5 + 1e-9);
+      EXPECT_NEAR(loaded->blocks[i].good_fraction, blocks[i].good_fraction,
+                  5.1e-5);
+      expected_total += loaded->blocks[i].daily_queries;
+    }
+    EXPECT_DOUBLE_EQ(loaded->total_daily_queries, expected_total);
+    std::stringstream second;
+    write_load_csv(second, loaded->blocks);
+    EXPECT_EQ(first.str(), second.str()) << "iteration " << iteration;
+  }
 }
 
 TEST(DatasetIo, MeasuredRoundSurvivesExportImport) {

@@ -1,0 +1,297 @@
+// In-process tests for the campaign journal: round-trips, torn-tail
+// recovery, bit-flip detection, fingerprint refusal, and the journaled
+// Campaign resume path (including concurrency > 1). The out-of-process
+// kill-point harness lives in crash_recovery_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "analysis/scenario.hpp"
+#include "core/campaign.hpp"
+#include "core/journal.hpp"
+#include "util/atomic_file.hpp"
+
+namespace vp::core {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return "/tmp/vp_journal_test_" + std::string(tag) + "_" +
+         std::to_string(static_cast<long>(::getpid())) + ".bin";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+}
+
+/// A small synthetic result with every field populated, so round-trip
+/// equality exercises the whole encoding.
+RoundResult synthetic_round(std::uint32_t r) {
+  RoundResult result;
+  result.map.measurement_id = 100 + r;
+  result.map.probes_sent = 1000 + r;
+  result.map.blocks_probed = 990;
+  result.map.cleaning = {900 + r, 1, 2, 3, 4, 5, 880};
+  result.map.set(net::Block24{0x010200 + r}, 0);
+  result.map.set(net::Block24{0x020300 + r}, 1);
+  result.rtt_ms.emplace(net::Block24{0x010200 + r}, 12.5f + r);
+  result.raw_replies_per_site = {400 + r, 500};
+  result.started = util::SimTime::from_minutes(15.0 * r);
+  result.probing_duration = util::SimTime::from_seconds(8.0);
+  result.faults.probes_lost = 7 + r;
+  result.faults.retries = 3;
+  return result;
+}
+
+void expect_equal(const RoundResult& a, const RoundResult& b) {
+  EXPECT_EQ(a.map.measurement_id, b.map.measurement_id);
+  EXPECT_EQ(a.map.probes_sent, b.map.probes_sent);
+  EXPECT_EQ(a.map.blocks_probed, b.map.blocks_probed);
+  EXPECT_EQ(a.map.cleaning.raw_replies, b.map.cleaning.raw_replies);
+  EXPECT_EQ(a.map.cleaning.kept, b.map.cleaning.kept);
+  EXPECT_EQ(a.map.entries().size(), b.map.entries().size());
+  for (const auto& [block, site] : a.map.entries())
+    EXPECT_EQ(b.map.site_of(block), site);
+  EXPECT_EQ(a.rtt_ms.size(), b.rtt_ms.size());
+  for (const auto& [block, rtt] : a.rtt_ms) {
+    ASSERT_TRUE(b.rtt_ms.count(block));
+    EXPECT_EQ(b.rtt_ms.at(block), rtt);
+  }
+  EXPECT_EQ(a.raw_replies_per_site, b.raw_replies_per_site);
+  EXPECT_EQ(a.started.usec, b.started.usec);
+  EXPECT_EQ(a.probing_duration.usec, b.probing_duration.usec);
+  EXPECT_EQ(a.faults.probes_lost, b.faults.probes_lost);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+}
+
+const JournalManifest kManifest{0xfeedbeefcafe1234ull, 6};
+
+std::string journal_with_rounds(const std::string& path,
+                                std::uint32_t count) {
+  CampaignJournal journal;
+  const auto opened = journal.open(path, kManifest, false);
+  EXPECT_EQ(opened.status, JournalStatus::kFresh);
+  for (std::uint32_t r = 0; r < count; ++r)
+    EXPECT_TRUE(journal.append_round(r, synthetic_round(r)));
+  journal.close();
+  return read_file(path);
+}
+
+TEST(Journal, RoundTripsAllFields) {
+  const std::string path = temp_path("roundtrip");
+  journal_with_rounds(path, 3);
+  CampaignJournal journal;
+  const auto opened = journal.open(path, kManifest, true);
+  ASSERT_EQ(opened.status, JournalStatus::kResumed);
+  EXPECT_EQ(opened.truncated_bytes, 0u);
+  ASSERT_EQ(opened.completed.size(), 3u);
+  for (std::uint32_t r = 0; r < 3; ++r)
+    expect_equal(opened.completed.at(r), synthetic_round(r));
+  // The reopened journal accepts further appends.
+  EXPECT_TRUE(journal.append_round(3, synthetic_round(3)));
+  journal.close();
+  CampaignJournal again;
+  EXPECT_EQ(again.open(path, kManifest, true).completed.size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailIsTruncatedAndRecovers) {
+  const std::string path = temp_path("torn");
+  const std::string full = journal_with_rounds(path, 3);
+  const std::string two = journal_with_rounds(path, 2);
+  // Every proper prefix that still contains two whole rounds must
+  // recover exactly those two and truncate the rest.
+  for (std::size_t keep = two.size(); keep < full.size(); ++keep) {
+    write_file(path, full.substr(0, keep));
+    CampaignJournal journal;
+    const auto opened = journal.open(path, kManifest, true);
+    ASSERT_EQ(opened.status, JournalStatus::kResumed) << "keep " << keep;
+    EXPECT_EQ(opened.completed.size(), 2u) << "keep " << keep;
+    EXPECT_EQ(opened.truncated_bytes, keep - two.size());
+    journal.close();
+    EXPECT_EQ(read_file(path).size(), two.size());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornManifestStartsFresh) {
+  const std::string path = temp_path("tornmanifest");
+  const std::string full = journal_with_rounds(path, 1);
+  // Anything shorter than the whole manifest frame is "no usable state".
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{5}}) {
+    write_file(path, full.substr(0, keep));
+    CampaignJournal journal;
+    EXPECT_EQ(journal.open(path, kManifest, true).status,
+              JournalStatus::kFresh);
+    journal.close();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, BitFlipInRecordBodyIsRejected) {
+  const std::string path = temp_path("bitflip");
+  const std::string full = journal_with_rounds(path, 3);
+  const std::string manifest_only = journal_with_rounds(path, 0);
+  // Flip one bit in the middle of the second round record's body.
+  std::string flipped = full;
+  const std::size_t target =
+      manifest_only.size() + (full.size() - manifest_only.size()) / 2;
+  flipped[target] = static_cast<char>(flipped[target] ^ 0x10);
+  write_file(path, flipped);
+  CampaignJournal journal;
+  EXPECT_EQ(journal.open(path, kManifest, true).status,
+            JournalStatus::kCorrupt);
+  EXPECT_FALSE(journal.is_open());
+  // Refusal must leave the file untouched (no truncation, no rewrite).
+  EXPECT_EQ(read_file(path), flipped);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, BitFlipInManifestIsRejected) {
+  const std::string path = temp_path("manifestflip");
+  std::string data = journal_with_rounds(path, 1);
+  data[10] = static_cast<char>(data[10] ^ 0x01);  // inside manifest payload
+  write_file(path, data);
+  CampaignJournal journal;
+  EXPECT_EQ(journal.open(path, kManifest, true).status,
+            JournalStatus::kCorrupt);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FingerprintMismatchRefuses) {
+  const std::string path = temp_path("mismatch");
+  journal_with_rounds(path, 2);
+  CampaignJournal journal;
+  JournalManifest other = kManifest;
+  other.fingerprint ^= 1;
+  EXPECT_EQ(journal.open(path, other, true).status,
+            JournalStatus::kFingerprintMismatch);
+  JournalManifest fewer_rounds = kManifest;
+  fewer_rounds.rounds = 4;
+  EXPECT_EQ(journal.open(path, fewer_rounds, true).status,
+            JournalStatus::kFingerprintMismatch);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, RoundIdBeyondManifestIsCorrupt) {
+  const std::string path = temp_path("badround");
+  {
+    CampaignJournal journal;
+    ASSERT_EQ(journal.open(path, kManifest, false).status,
+              JournalStatus::kFresh);
+    ASSERT_TRUE(journal.append_round(kManifest.rounds, synthetic_round(0)));
+  }
+  CampaignJournal journal;
+  EXPECT_EQ(journal.open(path, kManifest, true).status,
+            JournalStatus::kCorrupt);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, WithoutResumeOverwrites) {
+  const std::string path = temp_path("overwrite");
+  journal_with_rounds(path, 3);
+  CampaignJournal journal;
+  const auto opened = journal.open(path, kManifest, false);
+  EXPECT_EQ(opened.status, JournalStatus::kFresh);
+  EXPECT_TRUE(opened.completed.empty());
+  journal.close();
+  CampaignJournal again;
+  EXPECT_TRUE(again.open(path, kManifest, true).completed.empty());
+  std::remove(path.c_str());
+}
+
+// ---- Campaign integration: journal + resume against a real scenario ----
+
+class JournaledCampaignTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    analysis::ScenarioConfig config;
+    config.seed = 7;
+    config.scale = 0.03;
+    scenario_ = new analysis::Scenario(config);
+    routes_ = new bgp::RoutingTable(scenario_->route(scenario_->broot()));
+  }
+  static void TearDownTestSuite() {
+    delete routes_;
+    delete scenario_;
+  }
+
+  static Campaign make_campaign() {
+    ProbeConfig probe;
+    probe.measurement_id = 300;
+    Campaign campaign{scenario_->verfploeter(), *routes_};
+    campaign.probe(probe).rounds(4).journal(
+        temp_path("campaign"), anycast::fingerprint(scenario_->broot()));
+    return campaign;
+  }
+
+  static analysis::Scenario* scenario_;
+  static bgp::RoutingTable* routes_;
+};
+
+analysis::Scenario* JournaledCampaignTest::scenario_ = nullptr;
+bgp::RoutingTable* JournaledCampaignTest::routes_ = nullptr;
+
+TEST_F(JournaledCampaignTest, ResumeSkipsJournaledRoundsBitIdentically) {
+  const std::string path = temp_path("campaign");
+  auto fresh = make_campaign().run_reported();
+  EXPECT_EQ(fresh.journal, JournalStatus::kFresh);
+  EXPECT_EQ(fresh.rounds_executed, 4u);
+
+  // Resume with nothing missing: all four rounds load, none run.
+  auto resumed = make_campaign().resume().run_reported();
+  EXPECT_EQ(resumed.journal, JournalStatus::kResumed);
+  EXPECT_EQ(resumed.rounds_loaded, 4u);
+  EXPECT_EQ(resumed.rounds_executed, 0u);
+  ASSERT_EQ(resumed.results.size(), fresh.results.size());
+  for (std::size_t r = 0; r < fresh.results.size(); ++r)
+    expect_equal(resumed.results[r], fresh.results[r]);
+
+  // Chop the journal down to two rounds: resume re-runs the missing two
+  // and the merged results still match the uninterrupted run.
+  const std::string full = read_file(path);
+  write_file(path, full.substr(0, full.size() - (full.size() / 3)));
+  auto partial = make_campaign().resume().run_reported();
+  EXPECT_EQ(partial.journal, JournalStatus::kResumed);
+  EXPECT_GT(partial.rounds_executed, 0u);
+  EXPECT_LT(partial.rounds_executed, 4u);
+  for (std::size_t r = 0; r < fresh.results.size(); ++r)
+    expect_equal(partial.results[r], fresh.results[r]);
+  std::remove(path.c_str());
+}
+
+TEST_F(JournaledCampaignTest, ConcurrentResumeMatchesSequential) {
+  const std::string path = temp_path("campaign");
+  auto fresh = make_campaign().run_reported();
+  // Truncate to force a partial resume, then run it with overlapping
+  // rounds: the journaled-set logic must cope with out-of-order
+  // completion and still reproduce the sequential results.
+  const std::string full = read_file(path);
+  write_file(path, full.substr(0, full.size() / 2));
+  auto concurrent = make_campaign().resume().concurrency(2).run_reported();
+  EXPECT_EQ(concurrent.journal, JournalStatus::kResumed);
+  for (std::size_t r = 0; r < fresh.results.size(); ++r)
+    expect_equal(concurrent.results[r], fresh.results[r]);
+  std::remove(path.c_str());
+}
+
+TEST_F(JournaledCampaignTest, ChangedConfigRefusesResume) {
+  const std::string path = temp_path("campaign");
+  make_campaign().run_reported();
+  auto refused = make_campaign().threads(2).resume().run_reported();
+  EXPECT_EQ(refused.journal, JournalStatus::kFingerprintMismatch);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.results.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vp::core
