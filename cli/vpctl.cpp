@@ -26,6 +26,8 @@
 
 #include "analysis/coverage.hpp"
 #include "analysis/latency.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "analysis/load_analysis.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stability.hpp"
@@ -61,7 +63,9 @@ struct Args {
 };
 
 /// Flags that take no value.
-bool is_boolean_flag(std::string_view key) { return key == "resume"; }
+bool is_boolean_flag(std::string_view key) {
+  return key == "resume" || key == "no-metrics";
+}
 
 std::optional<Args> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
@@ -86,6 +90,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
 constexpr int kExitResumed = 3;             // completed after a resume
 constexpr int kExitFingerprintMismatch = 4; // journal is another campaign's
 constexpr int kExitCorruptJournal = 5;      // checksum failure, refused
+// Any output artifact (--out, --metrics-out) failed to write. Writes go
+// through util::atomic_file, so failure surfaces at flush time — a
+// command must never exit 0 after silently losing its artifact.
+constexpr int kExitWriteFailed = 6;
 
 int usage() {
   std::fprintf(
@@ -113,6 +121,9 @@ int usage() {
       "                     (default 250)\n"
       "  --fault-seed N     inject a seeded random fault plan (loss,\n"
       "                     rate-limiting, outages, route churn)\n"
+      "  --metrics-out FILE dump the run's metrics registry on exit\n"
+      "                     (.json = JSON, .prom/.txt = Prometheus text)\n"
+      "  --no-metrics       disable metric collection (results identical)\n"
       "scan options:\n"
       "  --prepend SITE=N   AS-prepend the SITE announcement N times\n"
       "  --out FILE         write the catchment as CSV\n"
@@ -128,6 +139,8 @@ int usage() {
       "                     (atomic replace; byte-stable across resumes)\n"
       "campaign exit codes: 0 ran fresh, 3 completed after a resume,\n"
       "  4 journal belongs to a different config, 5 journal corrupt\n"
+      "all commands exit 6 when an output file (--out/--metrics-out)\n"
+      "  cannot be written\n"
       "predict options:\n"
       "  --catchment FILE   reuse an exported catchment instead of scanning\n"
       "  --date apr|may     which load dataset to weight with (default may)\n"
@@ -179,6 +192,18 @@ class ProgressObserver : public core::RoundObserver {
                 spec.round, util::with_commas(result.map.probes_sent).c_str(),
                 util::with_commas(result.map.cleaning.kept).c_str(),
                 util::with_commas(result.map.cleaning.dropped()).c_str());
+  }
+  void on_metrics(const core::RoundSpec& spec,
+                  const core::RoundMetrics& metrics) override {
+    std::lock_guard lock{mutex_};
+    std::printf(
+        "round %u: %s wall (probe phase %s), %s probes/s, "
+        "RTT p50 %s ms p95 %s ms\n",
+        spec.round, (util::fixed(metrics.wall_ms, 1) + " ms").c_str(),
+        (util::fixed(metrics.probe_phase_ms, 1) + " ms").c_str(),
+        util::si_count(metrics.probes_per_sec).c_str(),
+        util::fixed(metrics.rtt_p50_ms, 1).c_str(),
+        util::fixed(metrics.rtt_p95_ms, 1).c_str());
   }
 
  private:
@@ -285,7 +310,7 @@ int cmd_scan(const Args& args) {
     const std::string path = args.get("out", "catchment.csv");
     if (!core::save_catchment(path, round, deployment)) {
       std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-      return 1;
+      return kExitWriteFailed;
     }
     std::printf("catchment written to %s\n", path.c_str());
   }
@@ -378,7 +403,7 @@ int cmd_campaign(const Args& args) {
     const std::string path = args.get("out", "campaign.csv");
     if (!util::atomic_write_file(path, all.str())) {
       std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-      return 1;
+      return kExitWriteFailed;
     }
     std::printf("campaign catchments written to %s\n", path.c_str());
   }
@@ -464,7 +489,7 @@ int cmd_export_load(const Args& args) {
   const std::string path = args.get("out", "load.csv");
   if (!core::save_load_csv(path, load)) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    return 1;
+    return kExitWriteFailed;
   }
   std::printf("wrote %zu querying blocks (%s q/day) to %s\n",
               load.blocks().size(),
@@ -473,16 +498,33 @@ int cmd_export_load(const Args& args) {
   return 0;
 }
 
+int dispatch(const Args& args) {
+  if (args.command == "scan") return cmd_scan(args);
+  if (args.command == "campaign") return cmd_campaign(args);
+  if (args.command == "atlas") return cmd_atlas(args);
+  if (args.command == "predict") return cmd_predict(args);
+  if (args.command == "recommend") return cmd_recommend(args);
+  if (args.command == "export-load") return cmd_export_load(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = parse_args(argc, argv);
   if (!args) return usage();
-  if (args->command == "scan") return cmd_scan(*args);
-  if (args->command == "campaign") return cmd_campaign(*args);
-  if (args->command == "atlas") return cmd_atlas(*args);
-  if (args->command == "predict") return cmd_predict(*args);
-  if (args->command == "recommend") return cmd_recommend(*args);
-  if (args->command == "export-load") return cmd_export_load(*args);
-  return usage();
+  if (args->has("no-metrics")) obs::metrics().set_enabled(false);
+  int rc = dispatch(*args);
+  if (args->has("metrics-out")) {
+    const std::string path = args->get("metrics-out", "metrics.json");
+    if (obs::write_metrics_file(path, obs::metrics().snapshot())) {
+      std::printf("metrics written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      // Don't mask a more specific failure (journal mismatch/corruption)
+      // already carried in rc; only successful-so-far runs become 6.
+      if (rc == 0 || rc == kExitResumed) rc = kExitWriteFailed;
+    }
+  }
+  return rc;
 }

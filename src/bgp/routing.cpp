@@ -6,6 +6,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/rng.hpp"
 
 namespace vp::bgp {
@@ -349,6 +351,12 @@ RoutingTable::RoutingTable(const Topology& topo,
 }
 
 SiteId RoutingTable::site_for_block(net::Block24 block) const {
+  // Striped counter on the flip model's per-probe path: the lookup rate
+  // (vs vp_sim_probes_total) is the working set a future block->site
+  // cache would have to cover. Observe-only; the lookup stays pure.
+  static obs::Counter& lookups =
+      obs::metrics().counter("vp_bgp_block_site_lookups_total");
+  lookups.add();
   const topology::BlockInfo* info = topo_->block_info(block);
   if (info == nullptr) return anycast::kUnknownSite;
   const AsNode& node = topo_->as_at(info->as_id);
@@ -384,6 +392,10 @@ std::size_t RoutingTable::distinct_sites(AsId as) const {
 RoutingTable compute_routes(const Topology& topo,
                             const anycast::Deployment& deployment,
                             const RoutingOptions& options) {
+  auto& registry = obs::metrics();
+  registry.counter("vp_bgp_route_computations_total").add();
+  obs::Span span{&registry.histogram("vp_bgp_compute_routes_ms",
+                                     obs::latency_buckets_ms())};
   Propagation propagation(topo, deployment, options);
   return RoutingTable{topo, deployment, propagation.run(),
                       options.tiebreak_salt};

@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "core/verfploeter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -62,6 +64,14 @@ CampaignReport Campaign::run_reported() const {
     }
   }
   report.rounds_executed = rounds_ - report.rounds_loaded;
+  auto& registry = obs::metrics();
+  registry.counter("vp_campaign_rounds_resumed_total")
+      .add(report.rounds_loaded);
+  registry.counter("vp_campaign_rounds_executed_total")
+      .add(report.rounds_executed);
+  obs::Histogram& round_wall =
+      registry.histogram("vp_campaign_round_wall_ms",
+                         obs::latency_buckets_ms());
 
   // Appends are serialized; rounds completing out of order under
   // concurrency > 1 interleave their records in completion order, which
@@ -69,6 +79,10 @@ CampaignReport Campaign::run_reported() const {
   std::mutex journal_mutex;
   std::atomic<bool> append_ok{true};
   const auto run_one = [&](std::uint32_t r) {
+    // Wall time of the round INCLUDING its journal append, as the
+    // campaign experiences it (the engine's vp_engine_round_ms excludes
+    // the append; the spread between the two is the durability tax).
+    obs::Span span{&round_wall};
     RoundResult result = engine_->run(*routes_, spec_for(r), observer_);
     if (journal.is_open()) {
       std::lock_guard lock{journal_mutex};

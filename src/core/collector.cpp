@@ -4,6 +4,8 @@ namespace vp::core {
 
 void Collector::receive(std::span<const std::uint8_t> packet,
                         util::SimTime arrival) {
+  ++packets_received_;
+  bytes_received_ += packet.size();
   const auto parsed = net::parse_reply(packet);
   if (!parsed) {
     ++malformed_;

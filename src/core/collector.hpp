@@ -38,16 +38,26 @@ class Collector {
 
   std::span<const ReplyRecord> records() const { return records_; }
   std::uint64_t malformed() const { return malformed_; }
+  /// Receive-side tallies for the observability layer: every captured
+  /// packet (valid or not) and its wire bytes. The engine flushes these
+  /// into per-site registry counters at merge time so the hot capture
+  /// path never touches shared state.
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
 
   void clear() {
     records_.clear();
     malformed_ = 0;
+    packets_received_ = 0;
+    bytes_received_ = 0;
   }
 
  private:
   anycast::SiteId site_;
   std::vector<ReplyRecord> records_;
   std::uint64_t malformed_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
 };
 
 }  // namespace vp::core

@@ -3,6 +3,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 #include <atomic>
 #include <bit>
 #include <cerrno>
@@ -356,6 +359,11 @@ CampaignJournal::OpenResult CampaignJournal::open(
         out.status = JournalStatus::kResumed;
         out.completed = std::move(parsed.completed);
         out.truncated_bytes = data.size() - parsed.valid_bytes;
+        auto& registry = obs::metrics();
+        registry.counter("vp_journal_rounds_loaded_total")
+            .add(out.completed.size());
+        registry.counter("vp_journal_truncated_bytes_total")
+            .add(out.truncated_bytes);
         return out;
       }
       // kFresh: file exists but holds no usable manifest — recreate below.
@@ -378,10 +386,19 @@ CampaignJournal::OpenResult CampaignJournal::open(
 bool CampaignJournal::append_round(std::uint32_t round,
                                    const RoundResult& result) {
   if (fd_ < 0) return false;
-  if (!write_frame(fd_, frame(encode_round(round, result)))) {
+  // The append span covers serialize + CRC + write + fsync — the whole
+  // durability tax bench_journal prices (EXPERIMENTS.md: < 5% of a
+  // round); the histogram makes it visible on live campaigns too.
+  auto& registry = obs::metrics();
+  obs::Span span{&registry.histogram("vp_journal_append_ms",
+                                     obs::latency_buckets_ms())};
+  const std::string framed = frame(encode_round(round, result));
+  if (!write_frame(fd_, framed)) {
     close();  // fail fast: never append past a hole
     return false;
   }
+  registry.counter("vp_journal_appends_total").add();
+  registry.counter("vp_journal_bytes_total").add(framed.size());
   return true;
 }
 

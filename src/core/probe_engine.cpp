@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <mutex>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -19,7 +22,50 @@ struct Shard {
   std::unordered_set<std::uint32_t> probed_addresses;
   std::unordered_set<std::uint32_t> probed_blocks;
   sim::FaultStats faults;  // summed at merge: order-invariant
+  // Observability tallies (plain ints: private to the worker, flushed
+  // into the registry by the coordinator — zero hot-path contention).
+  std::uint64_t obs_probes = 0;      // unique targets probed
+  std::uint64_t obs_replied = 0;     // probes answered within the timeout
+  std::uint64_t obs_unanswered = 0;  // probes never answered in time
 };
+
+/// Registry handles the engine reports into, resolved once per process.
+/// Everything here is observe-only (see obs/metrics.hpp): the round's
+/// outputs are bit-identical whether the registry is enabled or not.
+struct EngineMetrics {
+  obs::Counter& rounds;
+  obs::Counter& probes;
+  obs::Counter& replied;
+  obs::Counter& unanswered;
+  obs::Counter& retries;
+  obs::Counter& malformed;
+  obs::Histogram& round_ms;
+  obs::Histogram& probe_phase_ms;
+  obs::Histogram& rtt_ms;
+
+  static EngineMetrics& get() {
+    auto& r = obs::metrics();
+    const auto ms = obs::latency_buckets_ms();
+    static EngineMetrics m{r.counter("vp_engine_rounds_total"),
+                           r.counter("vp_engine_probes_sent_total"),
+                           r.counter("vp_engine_probes_replied_total"),
+                           r.counter("vp_engine_probes_unanswered_total"),
+                           r.counter("vp_engine_retries_total"),
+                           r.counter("vp_collector_malformed_total"),
+                           r.histogram("vp_engine_round_ms", ms),
+                           r.histogram("vp_engine_probe_phase_ms", ms),
+                           r.histogram("vp_engine_rtt_ms", ms)};
+    return m;
+  }
+};
+
+double percentile(std::vector<float>& values, double p) {
+  if (values.empty()) return 0.0;
+  const std::size_t k = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + k, values.end());
+  return values[k];
+}
 
 }  // namespace
 
@@ -29,6 +75,9 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
   const ProbeConfig& config = spec.probe;
   const anycast::Deployment& deployment = routes.deployment();
   const std::size_t site_count = deployment.sites.size();
+
+  EngineMetrics& em = EngineMetrics::get();
+  obs::Span round_span{&em.round_ms};
 
   RoundResult result;
   result.started = spec.start;
@@ -96,6 +145,7 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
   const std::uint64_t stride =
       std::max<std::uint64_t>((1u << 16) / shard_count, 4096);
 
+  obs::Span probe_span{&em.probe_phase_ms};
   util::run_shards(shard_count, [&](unsigned s) {
     Shard& shard = shards[s];
     shard.collectors.reserve(site_count);
@@ -119,6 +169,7 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
         shard.probed_blocks.insert(entry.block.index());
         util::SimTime attempt_tx = now;
         double backoff_ms = config.retry_backoff_ms;
+        bool answered = false;
         for (int attempt = 0; attempt < max_attempts; ++attempt) {
           if (attempt > 0) ++shard.faults.retries;
           bool answered_in_time = false;
@@ -154,12 +205,18 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
           }
           if (answered_in_time) {
             if (attempt > 0) ++shard.faults.recovered;
+            answered = true;
             break;
           }
           attempt_tx += timeout + util::SimTime::from_seconds(
                                       backoff_ms / 1000.0);
           backoff_ms *= config.retry_backoff_factor;
         }
+        ++shard.obs_probes;
+        if (answered)
+          ++shard.obs_replied;
+        else
+          ++shard.obs_unanswered;
         ++probe_index;
         now += gap;
         if (observer != nullptr && ++since_report == stride) {
@@ -171,6 +228,7 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
       }
     }
   });
+  const double probe_phase_ms = probe_span.stop();
   if (observer != nullptr)
     observer->on_probe_progress(spec, total_probes, total_probes);
 
@@ -194,6 +252,32 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
   result.map.blocks_probed = probed_blocks.size();
   if (observer != nullptr) observer->on_fault_stats(spec, result.faults);
 
+  // Flush the workers' observability tallies. Labeled per-shard series
+  // let a dashboard spot an unbalanced split; the aggregates feed the
+  // one-line progress report. Skipped entirely when metrics are off —
+  // nothing downstream reads them, so results cannot change (the
+  // determinism test runs both ways and byte-compares the CSVs).
+  if (obs::metrics().enabled()) {
+    auto& reg = obs::metrics();
+    for (unsigned s = 0; s < shard_count; ++s) {
+      const Shard& shard = shards[s];
+      const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+      reg.counter("vp_engine_shard_probes_total" + label)
+          .add(shard.obs_probes);
+      reg.counter("vp_engine_shard_replied_total" + label)
+          .add(shard.obs_replied);
+      reg.counter("vp_engine_shard_unanswered_total" + label)
+          .add(shard.obs_unanswered);
+      reg.counter("vp_engine_shard_retries_total" + label)
+          .add(shard.faults.retries);
+      em.probes.add(shard.obs_probes);
+      em.replied.add(shard.obs_replied);
+      em.unanswered.add(shard.obs_unanswered);
+      em.retries.add(shard.faults.retries);
+    }
+    if (robust) sim::record_fault_metrics(result.faults, reg);
+  }
+
   // Per site, concatenate shard records in shard order: chunks are
   // contiguous in emission order, so this IS the serial receive order.
   std::vector<ReplyRecord> merged;
@@ -204,16 +288,29 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
     for (const Collector& collector : shard.collectors)
       total_records += collector.records().size();
   merged.reserve(total_records);
+  std::vector<std::uint64_t> site_bytes(site_count, 0);
   for (std::size_t site = 0; site < site_count; ++site) {
     for (const Shard& shard : shards) {
       const Collector& collector = shard.collectors[site];
       stats.malformed += collector.malformed();
+      site_bytes[site] += collector.bytes_received();
       result.raw_replies_per_site[site] += collector.records().size();
       merged.insert(merged.end(), collector.records().begin(),
                     collector.records().end());
     }
   }
   stats.raw_replies = merged.size() + stats.malformed;
+  if (obs::metrics().enabled()) {
+    auto& reg = obs::metrics();
+    for (std::size_t site = 0; site < site_count; ++site) {
+      const std::string label =
+          "{site=\"" + deployment.sites[site].code + "\"}";
+      reg.counter("vp_collector_replies_total" + label)
+          .add(result.raw_replies_per_site[site]);
+      reg.counter("vp_collector_bytes_total" + label).add(site_bytes[site]);
+    }
+    em.malformed.add(stats.malformed);
+  }
   if (observer != nullptr)
     observer->on_replies_collected(spec, result.raw_replies_per_site);
 
@@ -225,6 +322,7 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
                    });
   const util::SimTime cutoff =
       spec.start + util::SimTime::from_minutes(config.late_cutoff_minutes);
+  std::vector<float> kept_rtts;  // for the p50/p95 in RoundMetrics
   for (const ReplyRecord& record : merged) {
     if (record.measurement_id != config.measurement_id) {
       ++stats.wrong_id;
@@ -244,13 +342,32 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
       ++stats.duplicates;
       continue;
     }
+    const float rtt =
+        static_cast<float>((record.arrival - record.tx_time).usec) / 1000.0f;
     result.map.set(block, record.site);
-    result.rtt_ms.emplace(
-        block, static_cast<float>((record.arrival - record.tx_time).usec) /
-                   1000.0f);
+    result.rtt_ms.emplace(block, rtt);
+    kept_rtts.push_back(rtt);
+    em.rtt_ms.observe(rtt);
     ++stats.kept;
   }
-  if (observer != nullptr) observer->on_round_complete(spec, result);
+  em.rounds.add();
+  const double wall_ms = round_span.stop();
+  if (observer != nullptr) {
+    observer->on_round_complete(spec, result);
+    RoundMetrics metrics;
+    metrics.wall_ms = wall_ms;
+    metrics.probe_phase_ms = probe_phase_ms;
+    metrics.probes_sent = result.map.probes_sent;
+    metrics.replies_raw = stats.raw_replies;
+    metrics.replies_kept = stats.kept;
+    metrics.probes_per_sec =
+        wall_ms > 0.0
+            ? static_cast<double>(metrics.probes_sent) / (wall_ms / 1000.0)
+            : 0.0;
+    metrics.rtt_p50_ms = percentile(kept_rtts, 0.50);
+    metrics.rtt_p95_ms = percentile(kept_rtts, 0.95);
+    observer->on_metrics(spec, metrics);
+  }
   return result;
 }
 

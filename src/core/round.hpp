@@ -80,6 +80,22 @@ struct RoundResult {
   sim::FaultStats faults;
 };
 
+/// Wall-clock timing and throughput of one finished round, as measured
+/// by the engine against the real (steady) clock. This is observability
+/// output ONLY: wall times are inherently nondeterministic, so nothing
+/// in RoundMetrics ever feeds back into probe decisions or results —
+/// catchments stay bit-identical whether anyone looks at this or not.
+struct RoundMetrics {
+  double wall_ms = 0.0;         ///< whole run(): plan + probe + merge + clean
+  double probe_phase_ms = 0.0;  ///< worker shards running
+  std::uint64_t probes_sent = 0;    ///< incl. retries
+  std::uint64_t replies_raw = 0;    ///< before cleaning
+  std::uint64_t replies_kept = 0;   ///< after cleaning
+  double probes_per_sec = 0.0;      ///< probes_sent / wall time
+  double rtt_p50_ms = 0.0;          ///< median RTT over kept replies
+  double rtt_p95_ms = 0.0;
+};
+
 /// Progress and accounting callbacks from a running round. Default
 /// implementations do nothing, so observers override only what they need.
 ///
@@ -119,6 +135,14 @@ class RoundObserver {
   virtual void on_round_complete(const RoundSpec& spec,
                                  const RoundResult& result) {
     (void)spec, (void)result;
+  }
+
+  /// Wall-clock timing/throughput for the finished round — the live
+  /// one-line progress report vpctl prints. Called last, after
+  /// on_round_complete, from the coordinating thread. Values are real
+  /// time and therefore nondeterministic; results never depend on them.
+  virtual void on_metrics(const RoundSpec& spec, const RoundMetrics& metrics) {
+    (void)spec, (void)metrics;
   }
 };
 

@@ -99,11 +99,12 @@ bool Name::equals_ignore_case(const Name& other) const {
 }
 
 std::vector<std::uint8_t> ResourceRecord::txt_rdata(std::string_view text) {
-  std::vector<std::uint8_t> out;
   const std::size_t len = std::min<std::size_t>(text.size(), 255);
-  out.push_back(static_cast<std::uint8_t>(len));
-  out.insert(out.end(), text.begin(),
-             text.begin() + static_cast<std::ptrdiff_t>(len));
+  // Sized up front (not push_back + insert): GCC 12's -Warray-bounds
+  // false-positives on vector::insert growing a 1-byte vector at -O2.
+  std::vector<std::uint8_t> out(len + 1);
+  out[0] = static_cast<std::uint8_t>(len);
+  std::copy_n(text.begin(), len, out.begin() + 1);
   return out;
 }
 

@@ -1,0 +1,57 @@
+// RAII wall-clock timing spans that record into a Histogram.
+//
+// A Span measures real (steady-clock) time, the one clock the virtual
+// SimTime world deliberately hides — which is exactly what operators
+// need: how long a round, a journal fsync, or a route computation takes
+// on this hardware. Wall time flows OUT into metrics only; it must never
+// feed back into probe decisions or simulated timestamps (see the
+// determinism contract in obs/metrics.hpp).
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace vp::obs {
+
+class Span {
+ public:
+  /// Starts timing; records into `hist` (milliseconds) when stopped or
+  /// destroyed. A null histogram makes the span inert.
+  explicit Span(Histogram* hist) noexcept
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  explicit Span(Histogram& hist) noexcept : Span(&hist) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { stop(); }
+
+  /// Stops the span (idempotent) and returns the elapsed milliseconds.
+  double stop() noexcept {
+    if (!stopped_) {
+      stopped_ = true;
+      elapsed_ms_ = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+      if (hist_ != nullptr) hist_->observe(elapsed_ms_);
+    }
+    return elapsed_ms_;
+  }
+
+  /// Elapsed time so far without stopping (for progress reporting).
+  double elapsed_ms() const noexcept {
+    if (stopped_) return elapsed_ms_;
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+  double elapsed_ms_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace vp::obs

@@ -1,5 +1,6 @@
 #include "sim/fault_injector.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace vp::sim {
@@ -151,6 +152,22 @@ void FaultInjector::apply_reply_faults(
     deliveries[out++] = std::move(d);
   }
   deliveries.resize(out);
+}
+
+void record_fault_metrics(const FaultStats& stats,
+                          obs::MetricsRegistry& registry) {
+  // Called once per round, so plain name lookups are plenty cheap.
+  registry.counter("vp_fault_probes_lost_total").add(stats.probes_lost);
+  registry.counter("vp_fault_replies_generated_total")
+      .add(stats.replies_generated);
+  registry.counter("vp_fault_replies_lost_total").add(stats.replies_lost);
+  registry.counter("vp_fault_rate_limited_total").add(stats.rate_limited);
+  registry.counter("vp_fault_outage_drops_total").add(stats.outage_drops);
+  registry.counter("vp_fault_withdrawn_total").add(stats.withdrawn);
+  registry.counter("vp_fault_diverted_total").add(stats.diverted);
+  registry.counter("vp_fault_delayed_total").add(stats.delayed);
+  registry.counter("vp_fault_retries_total").add(stats.retries);
+  registry.counter("vp_fault_recovered_total").add(stats.recovered);
 }
 
 }  // namespace vp::sim

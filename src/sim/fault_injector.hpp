@@ -27,6 +27,10 @@
 #include "sim/internet.hpp"
 #include "util/clock.hpp"
 
+namespace vp::obs {
+class MetricsRegistry;
+}
+
 namespace vp::sim {
 
 /// One fault plan: which misbehaviors are active and how hard they hit.
@@ -154,5 +158,12 @@ class FaultInjector {
  private:
   FaultPlan plan_;
 };
+
+/// Flushes one round's fault accounting into per-fault-kind registry
+/// counters (vp_fault_<kind>_total), so dashboards can tell forward-path
+/// loss from rate-limiting from outage blackouts while a campaign runs.
+/// Observe-only: never read back by any probe decision.
+void record_fault_metrics(const FaultStats& stats,
+                          obs::MetricsRegistry& registry);
 
 }  // namespace vp::sim

@@ -2,9 +2,40 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace vp::sim {
+
+namespace {
+
+// Dataplane counters. probe() is the hottest call in the system (once
+// per probe attempt, from every worker thread), so these are striped
+// Counters: a relaxed enabled-check plus a per-thread-stripe fetch_add,
+// a few ns against probe()'s ~µs of parsing and hashing. Observe-only —
+// probe() stays pure in its inputs and bit-identical with metrics off.
+// The probes/lookups ratio also surfaces the cache-able of a future PR:
+// every target in a block repeats the same (routes, block, round) ->
+// site ground-truth lookup.
+struct DataplaneMetrics {
+  obs::Counter& probes;
+  obs::Counter& malformed;
+  obs::Counter& unresponsive;
+  obs::Counter& site_lookups;
+  obs::Counter& replies;
+
+  static DataplaneMetrics& get() {
+    auto& r = obs::metrics();
+    static DataplaneMetrics m{r.counter("vp_sim_probes_total"),
+                              r.counter("vp_sim_malformed_probes_total"),
+                              r.counter("vp_sim_unresponsive_total"),
+                              r.counter("vp_sim_site_lookups_total"),
+                              r.counter("vp_sim_replies_total")};
+    return m;
+  }
+};
+
+}  // namespace
 
 double InternetSim::rtt_ms(net::Block24 block, anycast::SiteId site,
                            const bgp::RoutingTable& routes,
@@ -26,25 +57,41 @@ std::vector<Delivery> InternetSim::probe(
     std::span<const std::uint8_t> packet_bytes, util::SimTime tx_time,
     std::uint32_t round) const {
   std::vector<Delivery> out;
+  DataplaneMetrics& dm = DataplaneMetrics::get();
+  dm.probes.add();
 
   // Parse at the "host": a real host only answers well-formed echoes.
   const auto ip = net::Ipv4Header::parse(packet_bytes);
-  if (!ip || ip->protocol != net::IpProtocol::kIcmp) return out;
-  if (packet_bytes.size() < ip->total_length) return out;
+  if (!ip || ip->protocol != net::IpProtocol::kIcmp) {
+    dm.malformed.add();
+    return out;
+  }
+  if (packet_bytes.size() < ip->total_length) {
+    dm.malformed.add();
+    return out;
+  }
   const auto icmp = net::IcmpEcho::parse(packet_bytes.subspan(
       net::Ipv4Header::kSize, ip->total_length - net::Ipv4Header::kSize));
-  if (!icmp || icmp->type != net::IcmpType::kEchoRequest) return out;
+  if (!icmp || icmp->type != net::IcmpType::kEchoRequest) {
+    dm.malformed.add();
+    return out;
+  }
 
   const net::Block24 block = net::Block24::containing(ip->destination);
   const ReplyBehavior behavior = responsiveness_.behavior(block, round);
-  if (!behavior.responds) return out;
+  if (!behavior.responds) {
+    dm.unresponsive.add();
+    return out;
+  }
 
   // Hosts answer only if probed at an address that is actually alive
   // (the hitlist's representative may be stale; multi-target probing can
   // still find a live secondary host).
   if (!responsiveness_.is_live_host(
-          block, static_cast<std::uint8_t>(ip->destination.value() & 0xff)))
+          block, static_cast<std::uint8_t>(ip->destination.value() & 0xff))) {
+    dm.unresponsive.add();
     return out;
+  }
 
   // Source address of the reply: usually the probed host; aliased hosts
   // (multi-homed boxes, middleboxes) reply from a neighboring address.
@@ -68,6 +115,7 @@ std::vector<Delivery> InternetSim::probe(
   }
 
   // Catchment: the site whose collector will receive this reply.
+  dm.site_lookups.add();
   const anycast::SiteId site = ground_truth_site(routes, block, round);
   if (site < 0) return out;
 
@@ -88,6 +136,7 @@ std::vector<Delivery> InternetSim::probe(
     d.packet = reply;  // copy; deliveries own their bytes
     out.push_back(std::move(d));
   }
+  dm.replies.add(out.size());
   return out;
 }
 

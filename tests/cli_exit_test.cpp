@@ -1,0 +1,94 @@
+// Exit-code contract for vpctl's output artifacts: a command must never
+// exit 0 after failing to write a file the user asked for. Writes go
+// through util::atomic_file, so an unwritable path surfaces at flush
+// time — this forks the real binary and checks the distinct write-failed
+// exit code (6) for --out and --metrics-out, and that successful runs
+// actually leave the artifact behind.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+constexpr int kWriteFailedExit = 6;
+
+std::string test_dir() {
+  static const std::string dir = [] {
+    std::string d =
+        "/tmp/vp_cli_exit_" + std::to_string(static_cast<long>(getpid()));
+    mkdir(d.c_str(), 0755);
+    return d;
+  }();
+  return dir;
+}
+
+int run_vpctl(const std::string& args) {
+  const std::string cmd =
+      std::string{VPCTL_PATH} + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream{path}.good();
+}
+
+// A path whose parent directory does not exist; atomic_write_file cannot
+// even create its temp file there.
+std::string unwritable(const std::string& leaf) {
+  return test_dir() + "/no-such-dir/" + leaf;
+}
+
+const std::string kScan = "scan --scale 0.03 --seed 5";
+
+TEST(CliExit, ScanOutUnwritableExits6) {
+  EXPECT_EQ(run_vpctl(kScan + " --out " + unwritable("c.csv")),
+            kWriteFailedExit);
+}
+
+TEST(CliExit, MetricsOutUnwritableExits6) {
+  EXPECT_EQ(run_vpctl(kScan + " --metrics-out " + unwritable("m.json")),
+            kWriteFailedExit);
+}
+
+TEST(CliExit, ExportLoadUnwritableExits6) {
+  EXPECT_EQ(run_vpctl("export-load --scale 0.03 --out " + unwritable("l.csv")),
+            kWriteFailedExit);
+}
+
+TEST(CliExit, CampaignOutUnwritableExits6) {
+  EXPECT_EQ(run_vpctl("campaign --scale 0.03 --rounds 2 --out " +
+                      unwritable("all.csv")),
+            kWriteFailedExit);
+}
+
+TEST(CliExit, WritablePathsExitZeroAndLeaveArtifacts) {
+  const std::string csv = test_dir() + "/c.csv";
+  const std::string json = test_dir() + "/m.json";
+  const std::string prom = test_dir() + "/m.prom";
+  ASSERT_EQ(run_vpctl(kScan + " --out " + csv + " --metrics-out " + json), 0);
+  EXPECT_TRUE(file_exists(csv));
+  EXPECT_TRUE(file_exists(json));
+  ASSERT_EQ(run_vpctl(kScan + " --no-metrics --metrics-out " + prom), 0);
+  EXPECT_TRUE(file_exists(prom));
+}
+
+TEST(CliExit, MetricsFailureDoesNotMaskJournalRefusal) {
+  // A campaign refused for journal fingerprint mismatch must keep exit 4
+  // even when --metrics-out is also unwritable: the more specific
+  // failure wins.
+  const std::string journal = test_dir() + "/j.bin";
+  ASSERT_EQ(run_vpctl("campaign --scale 0.03 --rounds 2 --seed 5 --journal " +
+                      journal),
+            0);
+  EXPECT_EQ(run_vpctl("campaign --scale 0.03 --rounds 3 --seed 5 --journal " +
+                      journal + " --resume --metrics-out " +
+                      unwritable("m.json")),
+            4);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare google-benchmark JSON results against a committed baseline.
+
+CI runs the Release benchmarks (bench_micro, bench_metrics) with pinned
+repetitions, then gates the PR on this script:
+
+    tools/bench_compare.py --baseline bench/baseline.json out1.json out2.json
+
+A benchmark slower than baseline by more than --fail-pct (default 25%)
+fails the job; more than --warn-pct (default 10%) prints a warning. The
+wide default band is deliberate: shared 1-CPU CI runners jitter by tens
+of percent, so the gate catches step-change regressions (an accidental
+lock on the probe path), not single-digit drift. Benchmarks missing from
+the baseline are reported and pass; refresh with:
+
+    tools/bench_compare.py --baseline bench/baseline.json --update out*.json
+
+The baseline is a distilled map of benchmark name -> real_time so diffs
+stay reviewable, plus the machine context it was recorded on.
+
+Also computes the metrics-layer overhead from bench_metrics'
+BM_RoundMetrics/1 (metrics on) vs BM_RoundMetrics/0 (off) and fails when
+it exceeds --overhead-fail-pct (default 10%; the design budget is 2% —
+see DESIGN.md §11 — but CI noise needs headroom).
+"""
+import argparse
+import json
+import sys
+
+
+def load_results(paths):
+    """name -> {"real_time": ns, "time_unit": str} from benchmark JSON."""
+    results = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for b in data.get("benchmarks", []):
+            if b.get("run_type") == "aggregate" and b.get(
+                    "aggregate_name") != "median":
+                continue  # keep only the median when repetitions aggregate
+            name = b["run_name"] if "run_name" in b else b["name"]
+            results[name] = {
+                "real_time": b["real_time"],
+                "time_unit": b.get("time_unit", "ns"),
+            }
+    return results
+
+
+TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def in_ns(entry):
+    return entry["real_time"] * TO_NS[entry["time_unit"]]
+
+
+def fmt(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def compare(baseline, current, warn_pct, fail_pct):
+    failures, warnings, missing = [], [], []
+    for name, entry in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            missing.append(name)
+            continue
+        base_ns, cur_ns = in_ns(base), in_ns(entry)
+        delta = (cur_ns - base_ns) / base_ns * 100.0
+        line = (f"{name}: {fmt(cur_ns)} vs baseline {fmt(base_ns)} "
+                f"({delta:+.1f}%)")
+        if delta > fail_pct:
+            failures.append(line)
+            print(f"FAIL  {line}")
+        elif delta > warn_pct:
+            warnings.append(line)
+            print(f"WARN  {line}")
+        else:
+            print(f"ok    {line}")
+    for name in missing:
+        print(f"new   {name}: not in baseline (run --update to record)")
+    return failures, warnings
+
+
+def metrics_overhead(current):
+    """Percent overhead of BM_RoundMetrics with metrics on vs off."""
+    off = current.get("BM_RoundMetrics/0")
+    on = current.get("BM_RoundMetrics/1")
+    if not off or not on:
+        return None
+    return (in_ns(on) - in_ns(off)) / in_ns(off) * 100.0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("results", nargs="+",
+                    help="google-benchmark JSON output files")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (bench/baseline.json)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from these results")
+    ap.add_argument("--warn-pct", type=float, default=10.0)
+    ap.add_argument("--fail-pct", type=float, default=25.0)
+    ap.add_argument("--overhead-fail-pct", type=float, default=10.0)
+    ap.add_argument("--context", default="",
+                    help="free-form note recorded with --update")
+    args = ap.parse_args()
+
+    current = load_results(args.results)
+    if not current:
+        print("error: no benchmarks found in the given result files")
+        return 2
+
+    if args.update:
+        doc = {"context": args.context, "benchmarks": current}
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {len(current)} benchmarks "
+              f"-> {args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)["benchmarks"]
+
+    failures, warnings = compare(baseline, current,
+                                 args.warn_pct, args.fail_pct)
+
+    overhead = metrics_overhead(current)
+    if overhead is not None:
+        status = "ok" if overhead <= args.overhead_fail_pct else "FAIL"
+        print(f"{status:5} metrics-layer overhead on a full round: "
+              f"{overhead:+.2f}% (budget 2%, CI gate "
+              f"{args.overhead_fail_pct:.0f}%)")
+        if overhead > args.overhead_fail_pct:
+            failures.append(f"metrics overhead {overhead:+.2f}%")
+
+    print(f"\n{len(failures)} failure(s), {len(warnings)} warning(s), "
+          f"{len(current)} benchmark(s) compared")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,14 +10,14 @@ int main() {
   for (const auto& c : cfgs) {
     auto dep = sc.broot().with_prepend(c.site, c.n);
     auto routes = sc.route(dep, analysis::kAprilEpoch);
-    core::ProbeConfig probe;
-    auto r = sc.verfploeter().run_round(routes, probe, 0);
+    core::RoundSpec spec;
+    auto r = sc.verfploeter().run(routes, spec);
     printf("%-7s frac LAX = %.3f (mapped %zu)\n", c.label, r.map.fraction_to(0), r.map.mapped_blocks());
   }
   // Tangled
   auto routes = sc.route(sc.tangled());
-  core::ProbeConfig probe;
-  auto r = sc.verfploeter().run_round(routes, probe, 0);
+  core::RoundSpec spec;
+  auto r = sc.verfploeter().run(routes, spec);
   auto counts = r.map.per_site_counts(sc.tangled().sites.size());
   printf("\nTangled:\n");
   for (size_t s = 0; s < counts.size(); ++s)

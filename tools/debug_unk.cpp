@@ -9,8 +9,8 @@ using namespace vp;
 int main() {
   analysis::Scenario sc{analysis::ScenarioConfig{42, 1.0}};
   auto routes = sc.route(sc.broot(), analysis::kAprilEpoch);
-  core::ProbeConfig probe; probe.measurement_id = 412;
-  auto map = sc.verfploeter().run_round(routes, probe, 0).map;
+  core::RoundSpec spec; spec.probe.measurement_id = 412;
+  auto map = sc.verfploeter().run(routes, spec).map;
   auto load = sc.broot_load(0x20170412);
   std::map<std::string,double> unk; double total=0;
   std::map<std::string,double> unk_dark;
