@@ -14,7 +14,8 @@ int main() {
   bench::banner("Ablation", "value of the data-cleaning pipeline (§4)",
                 scenario);
 
-  const auto routes = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto routes_ptr = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto& routes = *routes_ptr;
 
   // Re-implement a "no cleaning" collector path: every raw reply counts,
   // attribution by reply source, later replies overwrite earlier ones.

@@ -15,7 +15,8 @@ int main() {
   bench::banner("Ablation", "multi-target probing vs the one-probe hitlist",
                 scenario);
 
-  const auto routes = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto routes_ptr = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto& routes = *routes_ptr;
   util::Table table{{"targets/block", "probes", "blocks mapped", "coverage",
                      "marginal blocks per 1k probes"}};
   std::uint64_t base_probes = 0, base_mapped = 0;

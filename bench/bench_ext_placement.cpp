@@ -41,7 +41,8 @@ int main() {
   const auto load = scenario.broot_load(0x20170515);
 
   // 1. Measure the current two-site deployment, with RTTs.
-  const auto routes = scenario.route(scenario.broot());
+  const auto routes_ptr = scenario.route(scenario.broot());
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 11000;
   const auto before = scenario.verfploeter().run(routes, {probe, 0});
@@ -84,7 +85,8 @@ int main() {
   anycast::Deployment expanded = scenario.broot();
   expanded.sites.push_back(anycast::AnycastSite{
       "NEW", upstream_near(scenario.topo(), location), location});
-  const auto new_routes = scenario.route(expanded);
+  const auto new_routes_ptr = scenario.route(expanded);
+  const auto& new_routes = *new_routes_ptr;
   probe.measurement_id = 11001;
   const auto after = scenario.verfploeter().run(new_routes, {probe, 1});
   const auto report_after =

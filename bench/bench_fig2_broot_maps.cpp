@@ -15,7 +15,8 @@ int main() {
   bench::banner("Figure 2", "geographic coverage of B-Root: Atlas vs Verfploeter",
                 scenario);
 
-  const auto routes = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto routes_ptr = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 215;
   const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;

@@ -14,7 +14,8 @@ int main() {
                 scenario);
 
   const auto& tangled = scenario.tangled();
-  const auto routes = scenario.route(tangled);
+  const auto routes_ptr = scenario.route(tangled);
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 301;
   const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;

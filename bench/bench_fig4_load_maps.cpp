@@ -14,7 +14,8 @@ int main() {
   bench::banner("Figure 4", "geographic load: B-Root (by site) and .nl",
                 scenario);
 
-  const auto routes = scenario.route(scenario.broot(), analysis::kAprilEpoch);
+  const auto routes_ptr = scenario.route(scenario.broot(), analysis::kAprilEpoch);
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 412;
   const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;

@@ -32,7 +32,8 @@ int main() {
     // (§6.1) — model with distinct rounds on the April epoch.
     const auto deployment =
         scenario.broot().with_prepend(config.site, config.amount);
-    const auto routes = scenario.route(deployment, analysis::kAprilEpoch);
+    const auto routes_ptr = scenario.route(deployment, analysis::kAprilEpoch);
+    const auto& routes = *routes_ptr;
     core::ProbeConfig probe;
     probe.measurement_id =
         static_cast<std::uint32_t>(5000 + config.amount * 7 +

@@ -32,7 +32,8 @@ int main() {
   for (const Config& config : configs) {
     const auto deployment =
         scenario.broot().with_prepend(config.site, config.amount);
-    const auto routes = scenario.route(deployment, analysis::kAprilEpoch);
+    const auto routes_ptr = scenario.route(deployment, analysis::kAprilEpoch);
+    const auto& routes = *routes_ptr;
     core::ProbeConfig probe;
     probe.measurement_id = static_cast<std::uint32_t>(
         6000 + (&config - configs));

@@ -14,7 +14,8 @@ int main() {
   bench::banner("Figure 7", "announced prefixes vs sites seen per AS",
                 scenario);
 
-  const auto routes = scenario.route(scenario.tangled());
+  const auto routes_ptr = scenario.route(scenario.tangled());
+  const auto& routes = *routes_ptr;
   // Run a short campaign first to identify unstable VPs; the paper
   // removes them before counting divisions ("without removing these VPs
   // we observe approximately 2% more divisions").

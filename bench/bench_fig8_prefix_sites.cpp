@@ -13,7 +13,8 @@ int main() {
   bench::banner("Figure 8", "sites seen per announced prefix, by length",
                 scenario);
 
-  const auto routes = scenario.route(scenario.tangled());
+  const auto routes_ptr = scenario.route(scenario.tangled());
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 8000;
   const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;

@@ -14,7 +14,8 @@ int main() {
   bench::banner("Figure 9", "Tangled catchment stability over 24h (96 rounds)",
                 scenario);
 
-  const auto routes = scenario.route(scenario.tangled());
+  const auto routes_ptr = scenario.route(scenario.tangled());
+  const auto& routes = *routes_ptr;
   analysis::StabilityAccumulator accumulator{scenario.topo()};
   core::ProbeConfig probe;
   probe.order_seed = 97;

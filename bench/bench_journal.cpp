@@ -43,7 +43,8 @@ int main() {
   bench::banner("Journal", "crash-safe journaling overhead per round",
                 scenario);
 
-  const auto routes = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto routes_ptr = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto& routes = *routes_ptr;
   const std::uint64_t deployment = anycast::fingerprint(scenario.broot());
   const char* disk_path = "/tmp/vp_bench_journal.bin";
   struct stat shm{};

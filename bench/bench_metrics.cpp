@@ -99,7 +99,8 @@ void BM_RoundMetrics(benchmark::State& state) {
     config.scale = 0.1;
     return config;
   }()};
-  static const bgp::RoutingTable routes = scenario.route(scenario.broot());
+  static const auto routes_ptr = scenario.route(scenario.broot());
+  const bgp::RoutingTable& routes = *routes_ptr;
   obs::metrics().set_enabled(state.range(0) != 0);
   core::RoundSpec spec;
   spec.threads = 2;

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/scenario.hpp"
+#include "bgp/catchment_resolver.hpp"
 #include "net/checksum.hpp"
 #include "net/packet.hpp"
 #include "net/prefix_trie.hpp"
@@ -79,16 +80,32 @@ void BM_TrieLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_TrieLookup);
 
-void BM_GroundTruthSiteLookup(benchmark::State& state) {
-  const auto& scenario = shared_scenario();
-  static const bgp::RoutingTable routes =
-      scenario.route(scenario.broot());
-  util::Rng rng{3};
+std::vector<net::Block24> sample_blocks(const analysis::Scenario& scenario,
+                                        std::uint64_t seed) {
+  util::Rng rng{seed};
   std::vector<net::Block24> blocks;
   for (int i = 0; i < 1024; ++i)
     blocks.push_back(
         scenario.topo().blocks()[rng.below(scenario.topo().block_count())]
             .block);
+  return blocks;
+}
+
+const bgp::RoutingTable& broot_routes() {
+  static const auto routes_ptr =
+      shared_scenario().route(shared_scenario().broot());
+  return *routes_ptr;
+}
+
+// Cached vs uncached per-probe resolution. The CI gate
+// (tools/bench_compare.py) asserts the cached variants beat the uncached
+// ones by the ratios recorded in baseline.json, so the speedup — not
+// just the absolute time — is regression-checked.
+void BM_GroundTruthSiteLookup(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const bgp::RoutingTable& routes = broot_routes();
+  scenario.internet().warm(routes);  // build outside the timed loop
+  const auto blocks = sample_blocks(scenario, 3);
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(scenario.internet().ground_truth_site(
@@ -97,10 +114,47 @@ void BM_GroundTruthSiteLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_GroundTruthSiteLookup);
 
+void BM_GroundTruthSiteUncached(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const bgp::RoutingTable& routes = broot_routes();
+  const auto blocks = sample_blocks(scenario, 3);
+  bgp::set_catchment_cache_enabled(false);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario.internet().ground_truth_site(
+        routes, blocks[i++ & 1023], 0));
+  }
+  bgp::set_catchment_cache_enabled(true);
+}
+BENCHMARK(BM_GroundTruthSiteUncached);
+
+void BM_SiteForBlock(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const bgp::RoutingTable& routes = broot_routes();
+  scenario.internet().warm(routes);
+  const bgp::CatchmentResolver* resolver = routes.catchment_resolver();
+  const auto blocks = sample_blocks(scenario, 5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver->stable_site(blocks[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_SiteForBlock);
+
+void BM_SiteForBlockUncached(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const bgp::RoutingTable& routes = broot_routes();
+  const auto blocks = sample_blocks(scenario, 5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routes.site_for_block(blocks[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_SiteForBlockUncached);
+
 void BM_ProbeRoundTrip(benchmark::State& state) {
   const auto& scenario = shared_scenario();
-  static const bgp::RoutingTable routes =
-      scenario.route(scenario.broot());
+  const bgp::RoutingTable& routes = broot_routes();
   const auto& hitlist = scenario.hitlist();
   std::size_t i = 0;
   std::uint64_t replies = 0;
@@ -124,9 +178,12 @@ void BM_ProbeRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_ProbeRoundTrip);
 
 void BM_ComputeRoutes(benchmark::State& state) {
+  // Deliberately bypasses the scenario's route cache: this measures the
+  // full propagation, which a cached scenario.route() no longer pays.
   const auto& scenario = shared_scenario();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(scenario.route(scenario.broot()));
+    benchmark::DoNotOptimize(
+        bgp::compute_routes(scenario.topo(), scenario.broot()));
   }
   state.counters["ases"] =
       static_cast<double>(scenario.topo().as_count());
@@ -140,8 +197,7 @@ BENCHMARK(BM_ComputeRoutes)->Unit(benchmark::kMillisecond);
 // pure engine overhead/speedup).
 void BM_FullMeasurementRound(benchmark::State& state) {
   const auto& scenario = shared_scenario();
-  static const bgp::RoutingTable routes =
-      scenario.route(scenario.broot());
+  const bgp::RoutingTable& routes = broot_routes();
   core::RoundSpec spec;
   spec.threads = static_cast<unsigned>(state.range(0));
   std::uint32_t round = 0;

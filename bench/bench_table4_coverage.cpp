@@ -12,7 +12,8 @@ int main() {
   bench::banner("Table 4", "coverage of B-Root: Atlas vs Verfploeter",
                 scenario);
 
-  const auto routes = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto routes_ptr = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 515;  // the SBV-5-15 dataset
   const auto round = scenario.verfploeter().run(routes, {probe, 0});

@@ -12,7 +12,8 @@ int main() {
   bench::banner("Table 5", "coverage of Verfploeter from B-Root traffic",
                 scenario);
 
-  const auto routes = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto routes_ptr = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 515;
   const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;

@@ -15,8 +15,10 @@ int main() {
 
   // Two routing epochs: 2017-04-21 and 2017-05-15 (§5.5: routing shifted
   // between the B-Root scans).
-  const auto april = scenario.route(scenario.broot(), analysis::kAprilEpoch);
-  const auto may = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto april_ptr = scenario.route(scenario.broot(), analysis::kAprilEpoch);
+  const auto& april = *april_ptr;
+  const auto may_ptr = scenario.route(scenario.broot(), analysis::kMayEpoch);
+  const auto& may = *may_ptr;
 
   core::ProbeConfig probe;
   probe.measurement_id = 421;

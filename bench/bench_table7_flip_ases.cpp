@@ -12,7 +12,8 @@ int main() {
   bench::banner("Table 7", "top ASes involved in site flips (24h campaign)",
                 scenario);
 
-  const auto routes = scenario.route(scenario.tangled());
+  const auto routes_ptr = scenario.route(scenario.tangled());
+  const auto& routes = *routes_ptr;
   analysis::StabilityAccumulator accumulator{scenario.topo()};
   core::ProbeConfig probe;
   probe.order_seed = 97;

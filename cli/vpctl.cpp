@@ -64,7 +64,7 @@ struct Args {
 
 /// Flags that take no value.
 bool is_boolean_flag(std::string_view key) {
-  return key == "resume" || key == "no-metrics";
+  return key == "resume" || key == "no-metrics" || key == "no-route-cache";
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -124,6 +124,9 @@ int usage() {
       "  --metrics-out FILE dump the run's metrics registry on exit\n"
       "                     (.json = JSON, .prom/.txt = Prometheus text)\n"
       "  --no-metrics       disable metric collection (results identical)\n"
+      "  --no-route-cache   recompute routes and resolve catchments\n"
+      "                     per probe instead of using the precomputed\n"
+      "                     tables (results identical; A/B escape hatch)\n"
       "scan options:\n"
       "  --prepend SITE=N   AS-prepend the SITE announcement N times\n"
       "  --out FILE         write the catchment as CSV\n"
@@ -156,6 +159,7 @@ analysis::Scenario make_scenario(const Args& args) {
   analysis::ScenarioConfig config;
   config.scale = args.get_double("scale", 0.4);
   config.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  config.route_cache = !args.has("no-route-cache");
   std::printf("building simulated Internet (scale %.2f, seed %llu)...\n",
               config.scale,
               static_cast<unsigned long long>(config.seed));
@@ -279,7 +283,8 @@ void print_catchment_summary(const anycast::Deployment& deployment,
 core::RoundResult run_scan(const analysis::Scenario& scenario,
                            const anycast::Deployment& deployment,
                            std::uint32_t round_index, const Args& args) {
-  const auto routes = scenario.route(deployment);
+  const auto routes_ptr = scenario.route(deployment);
+  const auto& routes = *routes_ptr;
   core::RoundSpec spec;
   spec.probe.measurement_id = 9000 + round_index;
   apply_retry_args(spec.probe, args);
@@ -322,7 +327,8 @@ int cmd_campaign(const Args& args) {
   const auto& deployment = pick_deployment(scenario, args);
   const auto rounds = static_cast<std::uint32_t>(args.get_long("rounds", 16));
   const double interval = args.get_double("interval-min", 15.0);
-  const auto routes = scenario.route(deployment);
+  const auto routes_ptr = scenario.route(deployment);
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 100;
   apply_retry_args(probe, args);
@@ -413,7 +419,8 @@ int cmd_campaign(const Args& args) {
 int cmd_atlas(const Args& args) {
   const auto scenario = make_scenario(args);
   const auto& deployment = pick_deployment(scenario, args);
-  const auto routes = scenario.route(deployment);
+  const auto routes_ptr = scenario.route(deployment);
+  const auto& routes = *routes_ptr;
   const auto campaign =
       scenario.atlas().measure(routes, scenario.internet().flips(), 0);
   std::printf("%u VPs considered, %u responded\n", campaign.considered,

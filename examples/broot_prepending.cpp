@@ -45,7 +45,8 @@ int main() {
   for (const Option& option : options) {
     const auto deployment =
         scenario.broot().with_prepend(option.site, option.amount);
-    const auto routes = scenario.route(deployment);
+    const auto routes_ptr = scenario.route(deployment);
+    const auto& routes = *routes_ptr;
     core::ProbeConfig probe;
     probe.measurement_id =
         static_cast<std::uint32_t>(100 + (&option - options));

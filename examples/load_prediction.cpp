@@ -26,7 +26,8 @@ int main() {
               history.blocks().size());
 
   // 1. Measure the planned two-site deployment on a test prefix.
-  const auto routes = scenario.route(scenario.broot());
+  const auto routes_ptr = scenario.route(scenario.broot());
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 77;
   const auto map = scenario.verfploeter().run(routes, {probe, 0}).map;

@@ -27,9 +27,11 @@ int main() {
               topo.as_count(), topo.announced_prefixes().size(),
               topo.block_count());
 
-  // 1. Compute BGP routes for the B-Root deployment.
+  // 1. Compute BGP routes for the B-Root deployment (memoized: a second
+  //    route() of the same deployment returns the same shared table).
   const auto& broot = scenario.broot();
-  const bgp::RoutingTable routes = scenario.route(broot);
+  const auto routes_ptr = scenario.route(broot);
+  const bgp::RoutingTable& routes = *routes_ptr;
 
   // 2. Run one Verfploeter measurement round. A RoundSpec describes the
   //    round; spec.threads shards the probe phase without changing the

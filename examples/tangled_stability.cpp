@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   std::printf("Tangled stability: %u rounds over %.1f hours, %zu blocks\n\n",
               rounds, hours, scenario.topo().block_count());
 
-  const auto routes = scenario.route(scenario.tangled());
+  const auto routes_ptr = scenario.route(scenario.tangled());
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 100;
   probe.order_seed = 7;

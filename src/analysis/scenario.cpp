@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "bgp/catchment_resolver.hpp"
 #include "util/rng.hpp"
 
 namespace vp::analysis {
@@ -14,6 +15,9 @@ ScenarioConfig ScenarioConfig::from_env() {
   }
   if (const char* seed = std::getenv("VP_SEED")) {
     config.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* off = std::getenv("VP_NO_ROUTE_CACHE")) {
+    if (off[0] != '\0' && off[0] != '0') config.route_cache = false;
   }
   return config;
 }
@@ -55,15 +59,19 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
   atlas_small_ = std::make_unique<atlas::AtlasPlatform>(
       *topo_, internet_->responsiveness(), small);
 
+  route_cache_ =
+      std::make_unique<bgp::RouteCache>(*topo_, config.route_cache);
+  bgp::set_catchment_cache_enabled(config.route_cache);
+
   broot_ = anycast::make_broot(*topo_);
   tangled_ = anycast::make_tangled(*topo_);
 }
 
-bgp::RoutingTable Scenario::route(const anycast::Deployment& deployment,
-                                  std::uint64_t epoch_salt) const {
+std::shared_ptr<const bgp::RoutingTable> Scenario::route(
+    const anycast::Deployment& deployment, std::uint64_t epoch_salt) const {
   bgp::RoutingOptions options;
   options.tiebreak_salt = util::hash_combine(config_.seed, epoch_salt);
-  return bgp::compute_routes(*topo_, deployment, options);
+  return route_cache_->routes(deployment, options);
 }
 
 dnsload::LoadModel Scenario::broot_load(std::uint64_t date_seed) const {

@@ -18,6 +18,7 @@
 
 #include "anycast/deployment.hpp"
 #include "atlas/atlas.hpp"
+#include "bgp/route_cache.hpp"
 #include "bgp/routing.hpp"
 #include "core/verfploeter.hpp"
 #include "dnsload/load_model.hpp"
@@ -30,7 +31,12 @@ namespace vp::analysis {
 struct ScenarioConfig {
   std::uint64_t seed = 42;
   double scale = 1.0;  // multiplies the default 120k-block Internet
-  /// Reads VP_SCALE and VP_SEED from the environment (bench knobs).
+  /// Memoize compute_routes across deployment sweeps and precompute the
+  /// per-table block->site catchment tables. Results are byte-identical
+  /// either way (vpctl --no-route-cache / route_cache_test A/B).
+  bool route_cache = true;
+  /// Reads VP_SCALE, VP_SEED, and VP_NO_ROUTE_CACHE from the environment
+  /// (bench knobs).
   static ScenarioConfig from_env();
 };
 
@@ -55,10 +61,17 @@ class Scenario {
   const anycast::Deployment& broot() const { return broot_; }
   const anycast::Deployment& tangled() const { return tangled_; }
 
-  /// Computes routes for a deployment under a routing epoch. The
-  /// deployment reference must outlive the returned table.
-  bgp::RoutingTable route(const anycast::Deployment& deployment,
-                          std::uint64_t epoch_salt = kMayEpoch) const;
+  /// Routes for a deployment under a routing epoch. Served from the
+  /// scenario's route cache when enabled (sweeps that re-route the same
+  /// deployment pay compute_routes once); the returned pointer keeps its
+  /// own deployment copy alive, so short-lived deployment values are fine.
+  std::shared_ptr<const bgp::RoutingTable> route(
+      const anycast::Deployment& deployment,
+      std::uint64_t epoch_salt = kMayEpoch) const;
+
+  /// The scenario's memoized compute_routes front-end (stats, clear,
+  /// enable/disable).
+  const bgp::RouteCache& route_cache() const { return *route_cache_; }
 
   /// B-Root-like load for a "date" (seed); .nl-like load for Figure 4b.
   dnsload::LoadModel broot_load(std::uint64_t date_seed) const;
@@ -72,6 +85,7 @@ class Scenario {
   std::unique_ptr<core::Verfploeter> verfploeter_;
   std::unique_ptr<atlas::AtlasPlatform> atlas_;
   std::unique_ptr<atlas::AtlasPlatform> atlas_small_;
+  std::unique_ptr<bgp::RouteCache> route_cache_;
   anycast::Deployment broot_;
   anycast::Deployment tangled_;
 };

@@ -1,0 +1,74 @@
+#include "bgp/catchment_resolver.hpp"
+
+#include <algorithm>
+
+#include "bgp/routing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace vp::bgp {
+
+namespace {
+std::atomic<bool> g_catchment_cache_enabled{true};
+}  // namespace
+
+void set_catchment_cache_enabled(bool on) noexcept {
+  g_catchment_cache_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool catchment_cache_enabled() noexcept {
+  return g_catchment_cache_enabled.load(std::memory_order_relaxed);
+}
+
+CatchmentResolver::CatchmentResolver(const RoutingTable& routes,
+                                     std::uint64_t flip_signature,
+                                     const FlappyPredicate& is_flappy)
+    : flip_signature_(flip_signature) {
+  auto& registry = obs::metrics();
+  obs::Span span{&registry.histogram("vp_bgp_resolver_build_ms",
+                                     obs::latency_buckets_ms())};
+
+  const topology::Topology& topo = routes.topology();
+  const auto blocks = topo.blocks();
+  if (!blocks.empty()) {
+    // The generator hands out near-contiguous /24 runs, so a
+    // direct-mapped table over [min, max] costs ~1 byte per allocated
+    // block and turns resolution into one bounds check + one load.
+    std::uint32_t lo = 0xffffffff, hi = 0;
+    for (const topology::BlockInfo& info : blocks) {
+      lo = std::min(lo, info.block.index());
+      hi = std::max(hi, info.block.index());
+    }
+    first_ = lo;
+    sites_.assign(hi - lo + 1, anycast::kUnknownSite);
+    flappy_bits_.assign((sites_.size() + 63) / 64, 0);
+    for (const topology::BlockInfo& info : blocks) {
+      const std::uint32_t off = info.block.index() - first_;
+      sites_[off] = routes.site_for_block(info);
+      if (is_flappy(info.block)) {
+        flappy_bits_[off >> 6] |= std::uint64_t{1} << (off & 63);
+        ++flappy_count_;
+      }
+    }
+  }
+
+  const auto& sites = routes.deployment().sites;
+  visible_pos_.assign(sites.size(), 0xffff);
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    if (!sites[s].enabled || sites[s].hidden) continue;
+    visible_pos_[s] = static_cast<std::uint16_t>(visible_.size());
+    visible_.push_back(static_cast<anycast::SiteId>(s));
+  }
+
+  registry.counter("vp_bgp_resolver_builds_total").add();
+  registry.gauge("vp_bgp_resolver_bytes").add(static_cast<double>(bytes()));
+}
+
+std::size_t CatchmentResolver::bytes() const {
+  return sizeof(*this) + sites_.capacity() * sizeof(anycast::SiteId) +
+         flappy_bits_.capacity() * sizeof(std::uint64_t) +
+         visible_.capacity() * sizeof(anycast::SiteId) +
+         visible_pos_.capacity() * sizeof(std::uint16_t);
+}
+
+}  // namespace vp::bgp

@@ -1,0 +1,93 @@
+#include "bgp/route_cache.hpp"
+
+#include <bit>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace vp::bgp {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Gauge& bytes;
+  obs::Gauge& entries;
+
+  static CacheMetrics& get() {
+    auto& r = obs::metrics();
+    static CacheMetrics m{r.counter("vp_bgp_route_cache_hits_total"),
+                          r.counter("vp_bgp_route_cache_misses_total"),
+                          r.gauge("vp_bgp_route_cache_bytes"),
+                          r.gauge("vp_bgp_route_cache_entries")};
+    return m;
+  }
+};
+
+}  // namespace
+
+struct RouteCache::Holder {
+  anycast::Deployment deployment;
+  std::optional<RoutingTable> table;
+};
+
+std::size_t RouteCache::KeyHash::operator()(const Key& k) const noexcept {
+  return static_cast<std::size_t>(util::hash_combine(
+      util::hash_combine(k.fingerprint, k.salt), k.jitter_bits));
+}
+
+std::shared_ptr<const RoutingTable> RouteCache::routes(
+    const anycast::Deployment& deployment,
+    const RoutingOptions& options) const {
+  const auto compute = [&](const anycast::Deployment& dep) {
+    auto holder = std::make_shared<Holder>();
+    holder->deployment = dep;  // the table must point at a copy we own
+    holder->table.emplace(compute_routes(*topo_, holder->deployment, options));
+    // Aliasing: the returned pointer keeps the whole holder (table +
+    // deployment copy) alive for as long as any caller retains it.
+    const RoutingTable* table = &*holder->table;
+    return std::shared_ptr<const RoutingTable>(std::move(holder), table);
+  };
+
+  if (!enabled()) return compute(deployment);
+
+  const Key key{anycast::fingerprint(deployment), options.tiebreak_salt,
+                std::bit_cast<std::uint64_t>(options.epoch_jitter_rate)};
+  CacheMetrics& cm = CacheMetrics::get();
+  // The mutex is held across the compute so concurrent callers of the
+  // same key block on one computation instead of racing duplicates —
+  // exactly what campaign rounds resuming in parallel want.
+  std::lock_guard lock{mutex_};
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    ++hits_;
+    cm.hits.add();
+    return it->second;
+  }
+  ++misses_;
+  cm.misses.add();
+  auto table = compute(deployment);
+  bytes_ += table->memory_bytes();
+  entries_.emplace(key, table);
+  cm.bytes.set(static_cast<double>(bytes_));
+  cm.entries.set(static_cast<double>(entries_.size()));
+  return table;
+}
+
+RouteCacheStats RouteCache::stats() const {
+  std::lock_guard lock{mutex_};
+  return RouteCacheStats{hits_, misses_, entries_.size(), bytes_};
+}
+
+void RouteCache::clear() {
+  std::lock_guard lock{mutex_};
+  entries_.clear();
+  bytes_ = 0;
+  CacheMetrics& cm = CacheMetrics::get();
+  cm.bytes.set(0.0);
+  cm.entries.set(0.0);
+}
+
+}  // namespace vp::bgp

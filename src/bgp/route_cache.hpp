@@ -1,0 +1,98 @@
+// Memoized route computation for deployment sweeps.
+//
+// Prepending and placement searches (analysis::Scenario, bench_fig5/6,
+// bench_ext_placement, bench_table6/7, tools/debug_prepend) re-route the
+// same topology over and over — Anycast-Agility-style playbook searches
+// do it hundreds of times — and compute_routes is the single most
+// expensive call in those loops. Catchments are a pure function of
+// (topology, deployment, routing options), so the cache keys each
+// computed RoutingTable by (anycast::fingerprint(deployment),
+// tiebreak_salt, epoch_jitter_rate) and hands out one shared immutable
+// table per distinct configuration — shared across rounds, probe worker
+// threads, and campaign resumes.
+//
+// Lifetime: the cache copies the deployment it routes, and the returned
+// shared_ptr keeps that copy alive (RoutingTable holds pointers into its
+// deployment), so callers may pass short-lived Deployment values — e.g.
+// `cache.routes(broot.with_prepend("MIA", 2), opts)` — and hold only the
+// table. One cache per Topology; the topology must outlive it.
+//
+// Determinism: a hit returns a table whose every answer is identical to
+// a fresh computation (tests/route_cache_test.cpp byte-compares whole
+// campaigns cache-on vs cache-off). Hit/miss/bytes are surfaced through
+// obs::MetricsRegistry (vp_bgp_route_cache_*).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "anycast/deployment.hpp"
+#include "bgp/routing.hpp"
+
+namespace vp::bgp {
+
+struct RouteCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;  // approximate retained table memory
+};
+
+class RouteCache {
+ public:
+  explicit RouteCache(const topology::Topology& topo, bool enabled = true)
+      : topo_(&topo), enabled_(enabled) {}
+
+  RouteCache(const RouteCache&) = delete;
+  RouteCache& operator=(const RouteCache&) = delete;
+
+  /// The routing table for (deployment, options): a shared cached table
+  /// on a hit, a freshly computed (and, when enabled, retained) one on a
+  /// miss. Thread-safe; concurrent callers of the same key compute once.
+  std::shared_ptr<const RoutingTable> routes(
+      const anycast::Deployment& deployment,
+      const RoutingOptions& options = {}) const;
+
+  /// When disabled every call computes fresh and retains nothing —
+  /// results are identical (vpctl --no-route-cache A/B).
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  RouteCacheStats stats() const;
+
+  /// Drops every retained table (outstanding shared_ptrs stay valid).
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t fingerprint;   // anycast::fingerprint(deployment)
+    std::uint64_t salt;          // RoutingOptions::tiebreak_salt
+    std::uint64_t jitter_bits;   // bit pattern of epoch_jitter_rate
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  /// Owns the deployment copy the table points into; returned pointers
+  /// alias into this so the copy lives as long as any user of the table.
+  struct Holder;
+
+  const topology::Topology* topo_;
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<Key, std::shared_ptr<const RoutingTable>,
+                             KeyHash>
+      entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  mutable std::size_t bytes_ = 0;
+};
+
+}  // namespace vp::bgp

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <bitset>
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
+#include "bgp/catchment_resolver.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/rng.hpp"
@@ -191,13 +194,10 @@ class Propagation {
     cand.path_len = static_cast<std::uint8_t>(
         std::min<int>(chosen->path_len + 1, kMaxPathLen));
     cand.cls = cls;
-    // The receiver's policy bonus for routes learned over this link.
-    for (const Link& back : topo_.as_at(link.neighbor).links) {
-      if (back.neighbor == sender) {
-        cand.local_pref_bonus = back.local_pref_bonus;
-        break;
-      }
-    }
+    // The receiver's policy bonus for routes learned over this link,
+    // mirrored onto the sender's directed link by the topology builder so
+    // advertising is O(1) instead of O(degree(receiver)).
+    cand.local_pref_bonus = link.reverse_local_pref_bonus;
     cand.egress_neighbor = sender;
     cand.egress_pop = link.remote_pop;  // receiver-local PoP of this link
     cand.tiebreak = tiebreak(link.neighbor, sender, cand.site);
@@ -306,6 +306,15 @@ bool AsRoutingState::multi_site() const {
       [first](const CandidateRoute& c) { return c.site != first; });
 }
 
+/// Holds the lazily-built CatchmentResolver. Lives behind a shared_ptr
+/// so RoutingTable stays cheaply movable/copyable (copies of an
+/// identical table legitimately share one resolver) and std::once_flag
+/// never has to move.
+struct RoutingTable::ResolverSlot {
+  std::once_flag once;
+  std::unique_ptr<const CatchmentResolver> resolver;
+};
+
 RoutingTable::RoutingTable(const Topology& topo,
                            const anycast::Deployment& deployment,
                            std::vector<AsRoutingState> states,
@@ -313,7 +322,8 @@ RoutingTable::RoutingTable(const Topology& topo,
     : topo_(&topo),
       deployment_(&deployment),
       epoch_salt_(epoch_salt),
-      states_(std::move(states)) {
+      states_(std::move(states)),
+      resolver_slot_(std::make_shared<ResolverSlot>()) {
   // Hot-potato: each PoP selects, among the tied candidates, the one whose
   // egress attachment is geographically closest (§6.2 — "routing policies
   // like hot-potato routing are a likely cause for these divisions").
@@ -351,16 +361,14 @@ RoutingTable::RoutingTable(const Topology& topo,
 }
 
 SiteId RoutingTable::site_for_block(net::Block24 block) const {
-  // Striped counter on the flip model's per-probe path: the lookup rate
-  // (vs vp_sim_probes_total) is the working set a future block->site
-  // cache would have to cover. Observe-only; the lookup stays pure.
-  static obs::Counter& lookups =
-      obs::metrics().counter("vp_bgp_block_site_lookups_total");
-  lookups.add();
   const topology::BlockInfo* info = topo_->block_info(block);
   if (info == nullptr) return anycast::kUnknownSite;
-  const AsNode& node = topo_->as_at(info->as_id);
-  const AsRoutingState& state = states_[info->as_id];
+  return site_for_block(*info);
+}
+
+SiteId RoutingTable::site_for_block(const topology::BlockInfo& info) const {
+  const AsNode& node = topo_->as_at(info.as_id);
+  const AsRoutingState& state = states_[info.as_id];
   if (node.multipath && state.multi_site()) {
     // Flow-hash load balancing: each block stably picks one of the tied
     // routes. Stable across rounds (same hash), so this creates lasting
@@ -369,24 +377,53 @@ SiteId RoutingTable::site_for_block(net::Block24 block) const {
     // paper's April-to-May catchment shift (section 5.5).
     const std::uint64_t h = util::hash_combine(
         util::hash_combine(util::mix64(0x6d70617468), epoch_salt_),
-        block.index());
+        info.block.index());
     return state.candidates[h % state.candidates.size()].site;
   }
-  return site_for_pop(info->as_id, info->pop);
+  return site_for_pop(info.as_id, info.pop);
 }
 
 std::size_t RoutingTable::distinct_sites(AsId as) const {
   const AsNode& node = topo_->as_at(as);
-  std::uint32_t mask = 0;
+  // SiteId is int8, so 128 covers every representable site; a plain
+  // `1u << site` mask is UB (and silently wrong) past 32 sites.
+  std::bitset<128> seen;
   for (std::size_t p = 0; p < node.pops.size(); ++p) {
     const SiteId site = site_for_pop(as, static_cast<std::uint16_t>(p));
-    if (site >= 0) mask |= 1u << site;
+    if (site >= 0) seen.set(static_cast<std::size_t>(site));
   }
   if (node.multipath && states_[as].multi_site()) {
     for (const CandidateRoute& cand : states_[as].candidates)
-      if (cand.site >= 0) mask |= 1u << cand.site;
+      if (cand.site >= 0) seen.set(static_cast<std::size_t>(cand.site));
   }
-  return static_cast<std::size_t>(std::popcount(mask));
+  return seen.count();
+}
+
+const CatchmentResolver* RoutingTable::catchment_resolver(
+    std::uint64_t flip_signature,
+    const std::function<std::unique_ptr<const CatchmentResolver>()>& build)
+    const {
+  ResolverSlot& slot = *resolver_slot_;
+  std::call_once(slot.once, [&] { slot.resolver = build(); });
+  const CatchmentResolver* resolver = slot.resolver.get();
+  return resolver != nullptr && resolver->flip_signature() == flip_signature
+             ? resolver
+             : nullptr;
+}
+
+const CatchmentResolver* RoutingTable::catchment_resolver() const {
+  return resolver_slot_->resolver.get();
+}
+
+std::size_t RoutingTable::memory_bytes() const {
+  std::size_t bytes = sizeof(*this) +
+                      pop_offsets_.capacity() * sizeof(std::uint32_t) +
+                      pop_sites_.capacity() * sizeof(SiteId) +
+                      states_.capacity() * sizeof(AsRoutingState);
+  for (const AsRoutingState& state : states_)
+    bytes += state.candidates.capacity() * sizeof(CandidateRoute);
+  if (resolver_slot_->resolver) bytes += resolver_slot_->resolver->bytes();
+  return bytes;
 }
 
 RoutingTable compute_routes(const Topology& topo,

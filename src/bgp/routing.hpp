@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -27,6 +29,8 @@
 #include "topology/topology.hpp"
 
 namespace vp::bgp {
+
+class CatchmentResolver;
 
 using anycast::SiteId;
 using topology::AsId;
@@ -100,16 +104,41 @@ class RoutingTable {
   /// block is unallocated or its AS is unreachable.
   SiteId site_for_block(net::Block24 block) const;
 
+  /// Same, with the ownership record already in hand — the hot-path
+  /// variant: callers that looked a BlockInfo up once thread it through
+  /// instead of re-hashing the block per question.
+  SiteId site_for_block(const topology::BlockInfo& info) const;
+
   /// Number of distinct sites chosen across an AS's PoPs and tied routes.
   std::size_t distinct_sites(AsId as) const;
 
+  /// This table's lazily-built catchment resolver (block -> site table +
+  /// flappy bitset, see bgp/catchment_resolver.hpp). The first caller
+  /// builds via `build`; concurrent callers wait, later callers get the
+  /// built resolver for free. Returns nullptr when the installed
+  /// resolver was built under a different `flip_signature` (callers then
+  /// use the uncached path — answers are identical either way).
+  const CatchmentResolver* catchment_resolver(
+      std::uint64_t flip_signature,
+      const std::function<std::unique_ptr<const CatchmentResolver>()>& build)
+      const;
+
+  /// The resolver if one has been built; nullptr otherwise.
+  const CatchmentResolver* catchment_resolver() const;
+
+  /// Approximate heap footprint (route-cache accounting).
+  std::size_t memory_bytes() const;
+
  private:
+  struct ResolverSlot;  // once-flag + resolver; shared so moves are cheap
+
   const topology::Topology* topo_;
   const anycast::Deployment* deployment_;
   std::uint64_t epoch_salt_ = 0;
   std::vector<AsRoutingState> states_;
   std::vector<std::uint32_t> pop_offsets_;  // per AS, into pop_sites_
   std::vector<SiteId> pop_sites_;
+  std::shared_ptr<ResolverSlot> resolver_slot_;
 };
 
 /// Runs the three-stage valley-free propagation and hot-potato resolution.

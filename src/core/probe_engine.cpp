@@ -79,6 +79,11 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
   EngineMetrics& em = EngineMetrics::get();
   obs::Span round_span{&em.round_ms};
 
+  // Materialize the block->site catchment table once, serially, before
+  // the workers fan out — otherwise every worker's first probe piles up
+  // on the resolver's call_once.
+  internet_->warm(routes);
+
   RoundResult result;
   result.started = spec.start;
 

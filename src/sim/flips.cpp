@@ -1,7 +1,10 @@
 #include "sim/flips.hpp"
 
-#include <array>
+#include <bit>
+#include <memory>
 
+#include "bgp/catchment_resolver.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace vp::sim {
@@ -10,6 +13,23 @@ namespace {
 double to_unit(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
+
+// Per-probe resolution counters. Hits mean the O(1) precomputed path
+// served the probe; misses mean the full hash-map walk did (cache
+// disabled or flip-signature mismatch). Together these replace the old
+// vp_bgp_block_site_lookups_total: hits + misses is the same denominator.
+struct ResolveMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+
+  static ResolveMetrics& get() {
+    auto& r = obs::metrics();
+    static ResolveMetrics m{
+        r.counter("vp_bgp_catchment_cache_hits_total"),
+        r.counter("vp_bgp_catchment_cache_misses_total")};
+    return m;
+  }
+};
 }  // namespace
 
 bool FlipModel::is_flappy(const bgp::RoutingTable& routes,
@@ -28,13 +48,61 @@ bool FlipModel::is_flappy(const bgp::RoutingTable& routes,
          rate;
 }
 
+std::uint64_t FlipModel::flap_signature() const {
+  std::uint64_t h = util::hash_combine(util::mix64(0xf11b), config_.seed);
+  h = util::hash_combine(
+      h, std::bit_cast<std::uint64_t>(config_.flappy_rate_load_balanced));
+  h = util::hash_combine(
+      h, std::bit_cast<std::uint64_t>(config_.flappy_rate_background));
+  return h;
+}
+
+const bgp::CatchmentResolver* FlipModel::resolver_for(
+    const bgp::RoutingTable& routes) const {
+  if (!bgp::catchment_cache_enabled()) return nullptr;
+  const std::uint64_t signature = flap_signature();
+  return routes.catchment_resolver(signature, [&] {
+    return std::make_unique<const bgp::CatchmentResolver>(
+        routes, signature,
+        [&](const net::Block24& b) { return is_flappy(routes, b); });
+  });
+}
+
 anycast::SiteId FlipModel::site_in_round(const bgp::RoutingTable& routes,
                                          net::Block24 block,
                                          std::uint32_t round) const {
+  ResolveMetrics& rm = ResolveMetrics::get();
+  anycast::SiteId site;
+
+  if (const bgp::CatchmentResolver* resolver = resolver_for(routes)) {
+    // Fast path: the stable majority is one bounds check + one load; only
+    // flappy blocks (the §6.3 minority) still reach into the hash map for
+    // their AS's tied candidate set.
+    rm.hits.add();
+    if (resolver->flappy(block)) {
+      const topology::BlockInfo* info = routes.topology().block_info(block);
+      const bgp::AsRoutingState& state = routes.state(info->as_id);
+      const std::uint64_t h = util::hash_combine(
+          util::hash_combine(config_.seed, block.index()), round);
+      site = state.candidates[h % state.candidates.size()].site;
+    } else {
+      site = resolver->stable_site(block);
+    }
+
+    const std::uint64_t th = util::hash_combine(
+        util::hash_combine(config_.seed, 0x7a4e),
+        util::hash_combine(block.index(), round));
+    if (site >= 0 && to_unit(th) < config_.transient_rate)
+      site = resolver->transient_site(site, util::mix64(th));
+    return site;
+  }
+
+  // Uncached path — must enumerate identically to the resolver so cached
+  // and uncached runs produce byte-identical CSVs.
+  rm.misses.add();
   const topology::BlockInfo* info = routes.topology().block_info(block);
   if (info == nullptr) return anycast::kUnknownSite;
 
-  anycast::SiteId site;
   if (is_flappy(routes, block)) {
     const bgp::AsRoutingState& state = routes.state(info->as_id);
     const std::uint64_t h = util::hash_combine(
@@ -42,7 +110,7 @@ anycast::SiteId FlipModel::site_in_round(const bgp::RoutingTable& routes,
     site = state.candidates[h % state.candidates.size()].site;
   } else {
     // Includes stable per-block multipath splits (§6.2).
-    site = routes.site_for_block(block);
+    site = routes.site_for_block(*info);
   }
 
   // Transient routing event: for one round, the block lands at some other
@@ -52,17 +120,23 @@ anycast::SiteId FlipModel::site_in_round(const bgp::RoutingTable& routes,
       util::hash_combine(block.index(), round));
   if (site >= 0 && to_unit(th) < config_.transient_rate) {
     const auto& sites = routes.deployment().sites;
-    std::array<anycast::SiteId, 32> visible{};
-    std::size_t visible_count = 0;
-    for (std::size_t s = 0;
-         s < sites.size() && visible_count < visible.size(); ++s) {
-      if (sites[s].enabled && !sites[s].hidden &&
-          static_cast<anycast::SiteId>(s) != site) {
-        visible[visible_count++] = static_cast<anycast::SiteId>(s);
+    const auto visible = [&](std::size_t s) {
+      return sites[s].enabled && !sites[s].hidden &&
+             static_cast<anycast::SiteId>(s) != site;
+    };
+    std::size_t others = 0;
+    for (std::size_t s = 0; s < sites.size(); ++s)
+      if (visible(s)) ++others;
+    if (others > 0) {
+      std::size_t k = util::mix64(th) % others;
+      for (std::size_t s = 0; s < sites.size(); ++s) {
+        if (!visible(s)) continue;
+        if (k-- == 0) {
+          site = static_cast<anycast::SiteId>(s);
+          break;
+        }
       }
     }
-    if (visible_count > 0)
-      site = visible[util::mix64(th) % visible_count];
   }
   return site;
 }

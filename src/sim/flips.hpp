@@ -52,6 +52,23 @@ class FlipModel {
   /// Whether the block belongs to the flappy population under `routes`.
   bool is_flappy(const bgp::RoutingTable& routes, net::Block24 block) const;
 
+  /// Hash of the flip configuration that shapes the flappy bitset (seed
+  /// and the two flappy rates; transient_rate stays out because transient
+  /// events are rolled per probe, never baked into the resolver).
+  std::uint64_t flap_signature() const;
+
+  /// The routing table's catchment resolver for this flip configuration,
+  /// building it on first use; nullptr when catchment precomputation is
+  /// disabled or the table's resolver was built under a different flip
+  /// signature (callers fall back to the uncached path — answers are
+  /// identical either way).
+  const bgp::CatchmentResolver* resolver_for(
+      const bgp::RoutingTable& routes) const;
+
+  /// Eagerly builds the resolver (probe engines call this once per round
+  /// setup so the first probe doesn't pay the build).
+  void warm(const bgp::RoutingTable& routes) const { (void)resolver_for(routes); }
+
  private:
   FlipConfig config_;
 };

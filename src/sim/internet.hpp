@@ -66,6 +66,12 @@ class InternetSim {
     return flips_.site_in_round(routes, block, round);
   }
 
+  /// Builds `routes`' catchment resolver up front so the first probe of a
+  /// round doesn't pay the one-time block->site materialization. Safe to
+  /// call concurrently and repeatedly; a no-op when precomputation is
+  /// disabled. The probe engine calls this once before fanning out.
+  void warm(const bgp::RoutingTable& routes) const { flips_.warm(routes); }
+
   /// Injects one probe packet at `tx_time` during `round`, using `routes`
   /// as the current BGP state. Returns every reply delivery it causes
   /// (empty for unresponsive/unallocated targets or malformed packets).

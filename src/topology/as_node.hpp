@@ -63,6 +63,12 @@ struct Link {
   /// this link (traffic-engineering communities; overrides path length
   /// within the same relationship class, as real local-pref does).
   std::int8_t local_pref_bonus = 0;
+  /// The local_pref_bonus the *neighbor* applies to routes it learns
+  /// from this AS — i.e. the neighbor's reverse link's bonus, mirrored
+  /// here by Topology::set_local_pref_bonus. Lets route propagation
+  /// price an advertisement in O(1) instead of scanning the receiver's
+  /// adjacency list (quadratic on dense transit ASes).
+  std::int8_t reverse_local_pref_bonus = 0;
 };
 
 /// One autonomous system.

@@ -62,9 +62,20 @@ void Topology::link(AsId lower, std::uint16_t lower_pop, AsId upper,
 }
 
 void Topology::set_local_pref_bonus(AsId from, AsId to, std::int8_t bonus) {
+  bool found = false;
   for (Link& l : ases_[from].links) {
     if (l.neighbor == to) {
       l.local_pref_bonus = bonus;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return;
+  // Mirror onto the neighbor's directed link so an advertisement over
+  // to->from can price the receiver's policy without scanning its links.
+  for (Link& l : ases_[to].links) {
+    if (l.neighbor == from) {
+      l.reverse_local_pref_bonus = bonus;
       return;
     }
   }
@@ -99,6 +110,16 @@ void Topology::seal() {
     for (std::uint32_t i = 0; i < node.block_count; ++i)
       assert(blocks_[node.first_block + i].as_id ==
              static_cast<AsId>(&node - ases_.data()));
+    // The mirrored reverse bonus (set_local_pref_bonus) must agree with
+    // what a scan of the neighbor's adjacency list would find.
+    for (const Link& l : node.links) {
+      for (const Link& back : ases_[l.neighbor].links) {
+        if (back.neighbor == static_cast<AsId>(&node - ases_.data())) {
+          assert(l.reverse_local_pref_bonus == back.local_pref_bonus);
+          break;
+        }
+      }
+    }
   }
 #endif
 }

@@ -101,8 +101,10 @@ TEST(Scenario, BuildsAllComponentsCoherently) {
   EXPECT_EQ(april.blocks().size(), may.blocks().size());
   // Routing works for both presets.
   EXPECT_NO_THROW({
-    const auto r1 = scenario.route(scenario.broot());
-    const auto r2 = scenario.route(scenario.tangled());
+    const auto r1_ptr = scenario.route(scenario.broot());
+    const auto& r1 = *r1_ptr;
+    const auto r2_ptr = scenario.route(scenario.tangled());
+    const auto& r2 = *r2_ptr;
     (void)r1;
     (void)r2;
   });

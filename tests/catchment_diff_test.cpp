@@ -26,7 +26,8 @@ class DiffTest : public ::testing::Test {
   static core::CatchmentMap measure(const anycast::Deployment& deployment,
                                     std::uint64_t epoch,
                                     std::uint32_t round) {
-    const auto routes = scenario().route(deployment, epoch);
+    const auto routes_ptr = scenario().route(deployment, epoch);
+    const auto& routes = *routes_ptr;
     core::ProbeConfig probe;
     probe.measurement_id = 100 + round;
     return scenario().verfploeter().run(routes, {probe, round}).map;

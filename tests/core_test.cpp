@@ -15,7 +15,7 @@ class CoreTest : public ::testing::Test {
     config.seed = 77;
     config.scale = 0.08;  // ~10k blocks
     scenario_ = new analysis::Scenario(config);
-    routes_ = new bgp::RoutingTable(scenario_->route(scenario_->broot()));
+    routes_ = scenario_->route(scenario_->broot());
     ProbeConfig probe;
     probe.measurement_id = 500;
     round_ = new RoundResult(
@@ -23,7 +23,7 @@ class CoreTest : public ::testing::Test {
   }
   static void TearDownTestSuite() {
     delete round_;
-    delete routes_;
+    routes_.reset();
     delete scenario_;
   }
   static const analysis::Scenario& scenario() { return *scenario_; }
@@ -32,12 +32,12 @@ class CoreTest : public ::testing::Test {
 
  private:
   static analysis::Scenario* scenario_;
-  static bgp::RoutingTable* routes_;
+  static std::shared_ptr<const bgp::RoutingTable> routes_;
   static RoundResult* round_;
 };
 
 analysis::Scenario* CoreTest::scenario_ = nullptr;
-bgp::RoutingTable* CoreTest::routes_ = nullptr;
+std::shared_ptr<const bgp::RoutingTable> CoreTest::routes_;
 RoundResult* CoreTest::round_ = nullptr;
 
 TEST_F(CoreTest, ProbesEveryHitlistEntryOnce) {

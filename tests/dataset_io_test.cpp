@@ -289,7 +289,8 @@ TEST(DatasetIo, MeasuredRoundSurvivesExportImport) {
   analysis::ScenarioConfig config;
   config.scale = 0.03;
   const analysis::Scenario scenario{config};
-  const auto routes = scenario.route(scenario.broot());
+  const auto routes_ptr = scenario.route(scenario.broot());
+  const auto& routes = *routes_ptr;
   ProbeConfig probe;
   probe.measurement_id = 50;
   const auto round = scenario.verfploeter().run(routes, {probe, 0});

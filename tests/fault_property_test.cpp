@@ -40,12 +40,12 @@ class FaultPropertyTest : public ::testing::Test {
     config.seed = 42;
     config.scale = 0.03;  // ~3.6k blocks: 300+ faulty rounds stay fast
     scenario_ = new analysis::Scenario(config);
-    routes_ = new bgp::RoutingTable(scenario_->route(scenario_->broot()));
+    routes_ = scenario_->route(scenario_->broot());
     clean_ = new RoundResult(run(nullptr, 0, 1));
   }
   static void TearDownTestSuite() {
     delete clean_;
-    delete routes_;
+    routes_.reset();
     delete scenario_;
   }
 
@@ -70,12 +70,12 @@ class FaultPropertyTest : public ::testing::Test {
   static const RoundResult& clean() { return *clean_; }
 
   static analysis::Scenario* scenario_;
-  static bgp::RoutingTable* routes_;
+  static std::shared_ptr<const bgp::RoutingTable> routes_;
   static RoundResult* clean_;
 };
 
 analysis::Scenario* FaultPropertyTest::scenario_ = nullptr;
-bgp::RoutingTable* FaultPropertyTest::routes_ = nullptr;
+std::shared_ptr<const bgp::RoutingTable> FaultPropertyTest::routes_;
 RoundResult* FaultPropertyTest::clean_ = nullptr;
 
 void expect_identical(const RoundResult& a, const RoundResult& b,

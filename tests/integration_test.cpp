@@ -20,8 +20,7 @@ class IntegrationTest : public ::testing::Test {
     config.seed = 42;
     config.scale = 0.3;  // ~36k blocks
     scenario_ = new analysis::Scenario(config);
-    broot_routes_ = new bgp::RoutingTable(
-        scenario_->route(scenario_->broot(), analysis::kMayEpoch));
+    broot_routes_ = scenario_->route(scenario_->broot(), analysis::kMayEpoch);
     core::ProbeConfig probe;
     probe.measurement_id = 1;
     broot_round_ = new core::RoundResult(
@@ -29,7 +28,7 @@ class IntegrationTest : public ::testing::Test {
   }
   static void TearDownTestSuite() {
     delete broot_round_;
-    delete broot_routes_;
+    broot_routes_.reset();
     delete scenario_;
   }
   static const analysis::Scenario& scenario() { return *scenario_; }
@@ -38,12 +37,12 @@ class IntegrationTest : public ::testing::Test {
 
  private:
   static analysis::Scenario* scenario_;
-  static bgp::RoutingTable* broot_routes_;
+  static std::shared_ptr<const bgp::RoutingTable> broot_routes_;
   static core::RoundResult* broot_round_;
 };
 
 analysis::Scenario* IntegrationTest::scenario_ = nullptr;
-bgp::RoutingTable* IntegrationTest::broot_routes_ = nullptr;
+std::shared_ptr<const bgp::RoutingTable> IntegrationTest::broot_routes_;
 core::RoundResult* IntegrationTest::broot_round_ = nullptr;
 
 // --- §5.3 / Table 4: coverage ------------------------------------------------
@@ -157,8 +156,8 @@ TEST_F(IntegrationTest, UnmappableBlocksFollowMappedProportions) {
 TEST_F(IntegrationTest, StalePredictionsAreWorse) {
   // §5.5 long-duration: April catchments + April load predict May's
   // actual split worse than same-day data does.
-  const auto april_routes =
-      scenario().route(scenario().broot(), analysis::kAprilEpoch);
+  const auto april_routes_ptr = scenario().route(scenario().broot(), analysis::kAprilEpoch);
+  const auto& april_routes = *april_routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 90;
   const auto april_map =
@@ -188,7 +187,8 @@ TEST_F(IntegrationTest, PrependingShiftsCatchmentMonotonically) {
        std::vector<std::pair<const char*, int>>{
            {"LAX", 1}, {"LAX", 0}, {"MIA", 1}, {"MIA", 2}, {"MIA", 3}}) {
     const auto deployment = scenario().broot().with_prepend(site, amount);
-    const auto routes = scenario().route(deployment, analysis::kAprilEpoch);
+    const auto routes_ptr = scenario().route(deployment, analysis::kAprilEpoch);
+    const auto& routes = *routes_ptr;
     core::ProbeConfig probe;
     probe.measurement_id = 200 + amount;
     const auto map =
@@ -203,7 +203,8 @@ TEST_F(IntegrationTest, PrependingLeavesAStickyResidue) {
   // Even at MIA+3, AMPATH's own customer cone stays at MIA (§6.1: "likely
   // customers of MIA's ISP, or ASes that ignore prepending").
   const auto deployment = scenario().broot().with_prepend("MIA", 3);
-  const auto routes = scenario().route(deployment, analysis::kAprilEpoch);
+  const auto routes_ptr = scenario().route(deployment, analysis::kAprilEpoch);
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 300;
   const auto map = scenario().verfploeter().run(routes, {probe, 0}).map;
@@ -215,7 +216,8 @@ TEST_F(IntegrationTest, PrependingLeavesAStickyResidue) {
 // --- §6.2 / Figures 7-8: divisions ------------------------------------------------
 
 TEST_F(IntegrationTest, LargeAsesSplitAcrossTangledSites) {
-  const auto routes = scenario().route(scenario().tangled());
+  const auto routes_ptr = scenario().route(scenario().tangled());
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 400;
   const auto map = scenario().verfploeter().run(routes, {probe, 0}).map;
@@ -260,7 +262,8 @@ TEST_F(IntegrationTest, LargeAsesSplitAcrossTangledSites) {
 // --- §6.3 / Figure 9, Table 7: stability ---------------------------------------------
 
 TEST_F(IntegrationTest, AnycastIsOverwhelminglyStable) {
-  const auto routes = scenario().route(scenario().tangled());
+  const auto routes_ptr = scenario().route(scenario().tangled());
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 1000;
   const auto rounds = core::Campaign{scenario().verfploeter(), routes}
@@ -301,7 +304,8 @@ TEST_F(IntegrationTest, WithdrawnSiteFailsOverCompletely) {
   // at LAX in the next scan, and the diff attributes the move correctly.
   anycast::Deployment degraded = scenario().broot();
   degraded.sites[1].enabled = false;
-  const auto routes = scenario().route(degraded, analysis::kMayEpoch);
+  const auto routes_ptr = scenario().route(degraded, analysis::kMayEpoch);
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 5000;
   const auto after = scenario().verfploeter().run(routes, {probe, 0});
@@ -327,7 +331,8 @@ TEST_F(IntegrationTest, WithdrawnSiteFailsOverCompletely) {
 TEST_F(IntegrationTest, SingleSiteDeploymentCatchesEverything) {
   anycast::Deployment solo = scenario().broot();
   solo.sites.erase(solo.sites.begin() + 1);
-  const auto routes = scenario().route(solo);
+  const auto routes_ptr = scenario().route(solo);
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 5001;
   const auto map = scenario().verfploeter().run(routes, {probe, 0}).map;
@@ -338,7 +343,8 @@ TEST_F(IntegrationTest, SingleSiteDeploymentCatchesEverything) {
 // --- Tangled: all visible sites get traffic; hidden one does not -----------------
 
 TEST_F(IntegrationTest, TangledSitesHaveSaneCatchments) {
-  const auto routes = scenario().route(scenario().tangled());
+  const auto routes_ptr = scenario().route(scenario().tangled());
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 2000;
   const auto map = scenario().verfploeter().run(routes, {probe, 0}).map;

@@ -217,10 +217,10 @@ class JournaledCampaignTest : public ::testing::Test {
     config.seed = 7;
     config.scale = 0.03;
     scenario_ = new analysis::Scenario(config);
-    routes_ = new bgp::RoutingTable(scenario_->route(scenario_->broot()));
+    routes_ = scenario_->route(scenario_->broot());
   }
   static void TearDownTestSuite() {
-    delete routes_;
+    routes_.reset();
     delete scenario_;
   }
 
@@ -234,11 +234,11 @@ class JournaledCampaignTest : public ::testing::Test {
   }
 
   static analysis::Scenario* scenario_;
-  static bgp::RoutingTable* routes_;
+  static std::shared_ptr<const bgp::RoutingTable> routes_;
 };
 
 analysis::Scenario* JournaledCampaignTest::scenario_ = nullptr;
-bgp::RoutingTable* JournaledCampaignTest::routes_ = nullptr;
+std::shared_ptr<const bgp::RoutingTable> JournaledCampaignTest::routes_;
 
 TEST_F(JournaledCampaignTest, ResumeSkipsJournaledRoundsBitIdentically) {
   const std::string path = temp_path("campaign");

@@ -13,7 +13,7 @@ class LatencyTest : public ::testing::Test {
     config.seed = 3;
     config.scale = 0.08;
     scenario_ = new Scenario(config);
-    routes_ = new bgp::RoutingTable(scenario_->route(scenario_->broot()));
+    routes_ = scenario_->route(scenario_->broot());
     core::ProbeConfig probe;
     probe.measurement_id = 60;
     round_ = new core::RoundResult(
@@ -23,7 +23,7 @@ class LatencyTest : public ::testing::Test {
   static void TearDownTestSuite() {
     delete load_;
     delete round_;
-    delete routes_;
+    routes_.reset();
     delete scenario_;
   }
   static const Scenario& scenario() { return *scenario_; }
@@ -33,13 +33,13 @@ class LatencyTest : public ::testing::Test {
 
  private:
   static Scenario* scenario_;
-  static bgp::RoutingTable* routes_;
+  static std::shared_ptr<const bgp::RoutingTable> routes_;
   static core::RoundResult* round_;
   static dnsload::LoadModel* load_;
 };
 
 Scenario* LatencyTest::scenario_ = nullptr;
-bgp::RoutingTable* LatencyTest::routes_ = nullptr;
+std::shared_ptr<const bgp::RoutingTable> LatencyTest::routes_;
 core::RoundResult* LatencyTest::round_ = nullptr;
 dnsload::LoadModel* LatencyTest::load_ = nullptr;
 

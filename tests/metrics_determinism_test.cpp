@@ -25,10 +25,10 @@ class MetricsDeterminismTest : public ::testing::Test {
     config.seed = 99;
     config.scale = 0.05;
     scenario_ = new analysis::Scenario(config);
-    routes_ = new bgp::RoutingTable(scenario_->route(scenario_->broot()));
+    routes_ = scenario_->route(scenario_->broot());
   }
   static void TearDownTestSuite() {
-    delete routes_;
+    routes_.reset();
     delete scenario_;
   }
   void TearDown() override { obs::metrics().set_enabled(true); }
@@ -48,11 +48,11 @@ class MetricsDeterminismTest : public ::testing::Test {
   }
 
   static analysis::Scenario* scenario_;
-  static bgp::RoutingTable* routes_;
+  static std::shared_ptr<const bgp::RoutingTable> routes_;
 };
 
 analysis::Scenario* MetricsDeterminismTest::scenario_ = nullptr;
-bgp::RoutingTable* MetricsDeterminismTest::routes_ = nullptr;
+std::shared_ptr<const bgp::RoutingTable> MetricsDeterminismTest::routes_;
 
 TEST_F(MetricsDeterminismTest, CsvIdenticalWithMetricsOnOrOff) {
   const std::string baseline = run_csv(1, /*metrics_on=*/true);

@@ -19,10 +19,10 @@ class ProbeEngineTest : public ::testing::Test {
     config.seed = 77;
     config.scale = 0.08;  // ~10k blocks
     scenario_ = new analysis::Scenario(config);
-    routes_ = new bgp::RoutingTable(scenario_->route(scenario_->broot()));
+    routes_ = scenario_->route(scenario_->broot());
   }
   static void TearDownTestSuite() {
-    delete routes_;
+    routes_.reset();
     delete scenario_;
   }
   static const analysis::Scenario& scenario() { return *scenario_; }
@@ -30,11 +30,11 @@ class ProbeEngineTest : public ::testing::Test {
 
  private:
   static analysis::Scenario* scenario_;
-  static bgp::RoutingTable* routes_;
+  static std::shared_ptr<const bgp::RoutingTable> routes_;
 };
 
 analysis::Scenario* ProbeEngineTest::scenario_ = nullptr;
-bgp::RoutingTable* ProbeEngineTest::routes_ = nullptr;
+std::shared_ptr<const bgp::RoutingTable> ProbeEngineTest::routes_;
 
 void expect_identical(const RoundResult& a, const RoundResult& b,
                       const char* label) {

@@ -1,0 +1,368 @@
+// The catchment-resolution cache's equivalence contract: precomputed
+// block->site tables (bgp::CatchmentResolver) and memoized route
+// computation (bgp::RouteCache) are pure materializations — every answer,
+// and every downstream catchment CSV, is byte-identical with the caches
+// on or off, at any thread count, clean or fault-injected. The
+// concurrency tests here run under TSan in CI (the shared cache and the
+// resolver's call_once are hammered from concurrent rounds).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "bgp/catchment_resolver.hpp"
+#include "bgp/route_cache.hpp"
+#include "core/dataset_io.hpp"
+#include "core/verfploeter.hpp"
+#include "sim/fault_injector.hpp"
+#include "util/rng.hpp"
+
+namespace vp {
+namespace {
+
+/// Restores the global catchment-precomputation switch on scope exit so a
+/// failing test cannot poison its neighbors.
+class CacheGuard {
+ public:
+  ~CacheGuard() { bgp::set_catchment_cache_enabled(true); }
+};
+
+// ---- property: cached and uncached resolution agree on every block ------
+
+class ResolutionEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ResolutionEquivalence, EveryBlockEveryRound) {
+  CacheGuard guard;
+  analysis::ScenarioConfig config;
+  config.seed = GetParam();
+  config.scale = 0.05;  // ~6k blocks
+  const analysis::Scenario scenario{config};
+
+  for (const auto* deployment : {&scenario.broot(), &scenario.tangled()}) {
+    const auto routes_ptr = scenario.route(*deployment);
+    const auto& routes = *routes_ptr;
+    const sim::FlipModel& flips = scenario.internet().flips();
+
+    // Build the resolver, then collect the cached answers.
+    bgp::set_catchment_cache_enabled(true);
+    flips.warm(routes);
+    const bgp::CatchmentResolver* resolver = routes.catchment_resolver();
+    ASSERT_NE(resolver, nullptr);
+    ASSERT_NE(flips.resolver_for(routes), nullptr);
+
+    for (const topology::BlockInfo& info : scenario.topo().blocks()) {
+      // The stable table must fold exactly what site_for_block computes.
+      EXPECT_EQ(resolver->stable_site(info.block),
+                routes.site_for_block(info.block));
+      // And flappy membership must be the flip model's exact decision.
+      EXPECT_EQ(resolver->flappy(info.block),
+                flips.is_flappy(routes, info.block));
+      for (const std::uint32_t round : {0u, 1u, 7u}) {
+        bgp::set_catchment_cache_enabled(true);
+        const auto cached = flips.site_in_round(routes, info.block, round);
+        bgp::set_catchment_cache_enabled(false);
+        const auto uncached = flips.site_in_round(routes, info.block, round);
+        ASSERT_EQ(cached, uncached)
+            << deployment->name << " block " << info.block.to_string()
+            << " round " << round << " seed " << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResolutionEquivalence,
+                         ::testing::Values(42, 1337));
+
+// ---- the RouteCache itself ----------------------------------------------
+
+class RouteCacheTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    analysis::ScenarioConfig config;
+    config.seed = 42;
+    config.scale = 0.05;
+    scenario_ = new analysis::Scenario(config);
+  }
+  static void TearDownTestSuite() { delete scenario_; }
+  static const analysis::Scenario& scenario() { return *scenario_; }
+
+ private:
+  static analysis::Scenario* scenario_;
+};
+
+analysis::Scenario* RouteCacheTest::scenario_ = nullptr;
+
+TEST_F(RouteCacheTest, RepeatedSweepsHitTheCache) {
+  const auto before = scenario().route_cache().stats();
+  const auto first = scenario().route(scenario().broot());
+  const auto again = scenario().route(scenario().broot());
+  EXPECT_EQ(first.get(), again.get())
+      << "same (deployment, epoch) must share one table";
+  const auto other_epoch =
+      scenario().route(scenario().broot(), analysis::kAprilEpoch);
+  EXPECT_NE(first.get(), other_epoch.get());
+  const auto after = scenario().route_cache().stats();
+  EXPECT_GE(after.hits, before.hits + 1);
+  EXPECT_GE(after.misses, before.misses + 1);
+  EXPECT_GT(after.bytes, 0u);
+}
+
+TEST_F(RouteCacheTest, TablesOutliveTemporaryDeployments) {
+  std::shared_ptr<const bgp::RoutingTable> table;
+  {
+    // The prepended deployment dies at the end of this scope; the cache
+    // must have copied it (RoutingTable points into its deployment).
+    table = scenario().route(scenario().broot().with_prepend("MIA", 2));
+  }
+  ASSERT_EQ(table->deployment().sites.size(), 2u);
+  EXPECT_EQ(table->deployment().sites[1].prepend, 2);
+  EXPECT_GE(table->site_for_pop(0, 0), -1);
+}
+
+TEST_F(RouteCacheTest, DisabledCacheComputesFreshAndRetainsNothing) {
+  bgp::RouteCache cache{scenario().topo(), /*enabled=*/false};
+  const auto a = cache.routes(scenario().broot());
+  const auto b = cache.routes(scenario().broot());
+  EXPECT_NE(a.get(), b.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  // Identical content even though freshly computed.
+  for (const topology::BlockInfo& info : scenario().topo().blocks())
+    ASSERT_EQ(a->site_for_block(info.block), b->site_for_block(info.block));
+}
+
+TEST_F(RouteCacheTest, ClearDropsEntriesButOutstandingTablesSurvive) {
+  bgp::RouteCache cache{scenario().topo()};
+  const auto table = cache.routes(scenario().tangled());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(table->deployment().name, "Tangled");  // still alive
+}
+
+// ---- whole-campaign byte-equality, cache on vs off ----------------------
+
+class CampaignEquivalence : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    analysis::ScenarioConfig config;
+    config.seed = 99;
+    config.scale = 0.05;
+    scenario_ = new analysis::Scenario(config);
+  }
+  static void TearDownTestSuite() { delete scenario_; }
+
+  /// One measurement round serialized to CSV. `cached` routes through the
+  /// scenario's RouteCache with catchment precomputation on; uncached
+  /// recomputes the table from scratch and resolves per probe.
+  static std::string run_csv(unsigned threads, bool cached,
+                             const sim::FaultInjector* faults = nullptr) {
+    bgp::set_catchment_cache_enabled(cached);
+    std::shared_ptr<const bgp::RoutingTable> shared;
+    std::optional<bgp::RoutingTable> fresh;
+    const bgp::RoutingTable* routes = nullptr;
+    if (cached) {
+      shared = scenario_->route(scenario_->broot());
+      routes = shared.get();
+    } else {
+      bgp::RoutingOptions options;
+      options.tiebreak_salt =
+          util::hash_combine(scenario_->config().seed, analysis::kMayEpoch);
+      fresh.emplace(bgp::compute_routes(scenario_->topo(), scenario_->broot(),
+                                        options));
+      routes = &*fresh;
+    }
+    core::RoundSpec spec;
+    spec.probe.measurement_id = 7300;
+    spec.round = 3;
+    spec.threads = threads;
+    spec.faults = faults;
+    const core::RoundResult result =
+        scenario_->verfploeter().run(*routes, spec);
+    bgp::set_catchment_cache_enabled(true);
+    std::ostringstream csv;
+    core::write_catchment_csv(csv, result, scenario_->broot());
+    return csv.str();
+  }
+
+  static analysis::Scenario* scenario_;
+};
+
+analysis::Scenario* CampaignEquivalence::scenario_ = nullptr;
+
+TEST_F(CampaignEquivalence, CsvByteIdenticalCacheOnOrOff) {
+  CacheGuard guard;
+  const std::string baseline = run_csv(1, /*cached=*/false);
+  ASSERT_FALSE(baseline.empty());
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    EXPECT_EQ(run_csv(threads, true), baseline)
+        << "cached, threads=" << threads;
+    EXPECT_EQ(run_csv(threads, false), baseline)
+        << "uncached, threads=" << threads;
+  }
+}
+
+TEST_F(CampaignEquivalence, CsvByteIdenticalUnderFaults) {
+  CacheGuard guard;
+  const sim::FaultInjector injector{sim::FaultPlan::from_seed(23)};
+  const std::string baseline = run_csv(1, false, &injector);
+  ASSERT_FALSE(baseline.empty());
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    EXPECT_EQ(run_csv(threads, true, &injector), baseline)
+        << "cached, threads=" << threads;
+    EXPECT_EQ(run_csv(threads, false, &injector), baseline)
+        << "uncached, threads=" << threads;
+  }
+}
+
+// ---- concurrency: many rounds, one shared cache (TSan target) -----------
+
+TEST_F(CampaignEquivalence, ConcurrentRoundsShareCacheAndResolvers) {
+  CacheGuard guard;
+  bgp::set_catchment_cache_enabled(true);
+  const auto& scenario = *scenario_;
+  const auto blocks = scenario.topo().blocks();
+  const sim::FlipModel& flips = scenario.internet().flips();
+
+  // Serial reference answers for four deployments (distinct cache keys).
+  std::vector<anycast::Deployment> deployments;
+  for (int p = 0; p < 4; ++p)
+    deployments.push_back(scenario.broot().with_prepend("MIA", p));
+  std::vector<std::vector<anycast::SiteId>> expected(deployments.size());
+  for (std::size_t d = 0; d < deployments.size(); ++d) {
+    const auto routes = scenario.route(deployments[d]);
+    for (std::size_t i = 0; i < blocks.size(); i += 7)
+      expected[d].push_back(
+          flips.site_in_round(*routes, blocks[i].block, 1));
+  }
+
+  // Hammer a FRESH cache (its tables have unbuilt resolvers): 8 threads
+  // race routes() (shared mutex, same-key dedup) and site_in_round
+  // (call_once resolver build — two threads per deployment key).
+  bgp::RouteCache cache{scenario.topo()};
+  bgp::RoutingOptions options;
+  options.tiebreak_salt =
+      util::hash_combine(scenario.config().seed, analysis::kMayEpoch);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      const std::size_t d = t % deployments.size();
+      const auto routes = cache.routes(deployments[d], options);
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < blocks.size(); i += 7, ++k) {
+        if (flips.site_in_round(*routes, blocks[i].block, 1) !=
+            expected[d][k])
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---- >=32 sites: wide-deployment regression -----------------------------
+
+/// Builds a 1-AS topology plus a 40-site deployment, with the AS's
+/// routing state hand-built so its tied candidates span all 40 sites.
+/// Before the std::bitset fix, distinct_sites shifted `1u << site` (UB
+/// past 31) and the transient picker truncated the visible list at 32.
+struct WideDeployment {
+  topology::Topology topo;
+  anycast::Deployment deployment;
+  topology::AsId as = 0;
+
+  static constexpr int kSites = 40;
+  static constexpr int kBlocks = 200;
+
+  WideDeployment() {
+    topology::AsNode node;
+    node.asn = topology::AsNumber{65000};
+    node.name = "wide";
+    node.pops.push_back(topology::Pop{0, geo::LatLon{0.0, 0.0}});
+    node.multipath = true;
+    as = topo.add_as(std::move(node));
+    const auto prefix_index =
+        topo.announce(as, *net::Prefix::parse("10.1.0.0/16"));
+    for (int b = 0; b < kBlocks; ++b) {
+      topo.add_block(net::Block24::containing(net::Ipv4Address{
+                         10, 1, static_cast<std::uint8_t>(b), 0}),
+                     as, 0, prefix_index);
+    }
+    topo.seal();
+
+    deployment.name = "wide-40";
+    deployment.service_prefix = *net::Prefix::parse("192.0.2.0/24");
+    deployment.measurement_address = *net::Ipv4Address::parse("192.0.2.1");
+    deployment.origin_asn = topology::AsNumber{65001};
+    for (int s = 0; s < kSites; ++s) {
+      anycast::AnycastSite site;
+      site.code = "S" + std::to_string(s);
+      site.upstream = topology::AsNumber{65000};
+      site.location = geo::LatLon{0.0, static_cast<double>(s)};
+      deployment.sites.push_back(site);
+    }
+  }
+
+  /// Routing state whose tied candidates cover sites [0, site_count).
+  bgp::RoutingTable routes(int site_count) const {
+    std::vector<bgp::AsRoutingState> states(topo.as_count());
+    for (int s = 0; s < site_count; ++s) {
+      bgp::CandidateRoute cand;
+      cand.site = static_cast<anycast::SiteId>(s);
+      cand.path_len = 2;
+      cand.cls = bgp::RouteClass::kCustomer;
+      cand.egress_pop = 0;
+      cand.tiebreak = static_cast<std::uint64_t>(s);
+      states[as].candidates.push_back(cand);
+    }
+    return bgp::RoutingTable{topo, deployment, std::move(states)};
+  }
+};
+
+TEST(WideDeploymentTest, DistinctSitesCountsPast32) {
+  const WideDeployment wide;
+  const auto routes = wide.routes(WideDeployment::kSites);
+  EXPECT_EQ(routes.distinct_sites(wide.as),
+            static_cast<std::size_t>(WideDeployment::kSites));
+}
+
+TEST(WideDeploymentTest, TransientPickerReachesAll40Sites) {
+  CacheGuard guard;
+  const WideDeployment wide;
+  // One candidate only: blocks resolve stably to site 0, so every
+  // transient event (rate 1.0) must pick among the other 39 sites.
+  const auto routes = wide.routes(1);
+  sim::FlipConfig config;
+  config.transient_rate = 1.0;
+  const sim::FlipModel flips{config};
+
+  std::set<anycast::SiteId> cached_picks;
+  for (const topology::BlockInfo& info : wide.topo.blocks()) {
+    for (const std::uint32_t round : {0u, 1u, 2u, 3u}) {
+      bgp::set_catchment_cache_enabled(true);
+      const auto cached = flips.site_in_round(routes, info.block, round);
+      bgp::set_catchment_cache_enabled(false);
+      const auto uncached = flips.site_in_round(routes, info.block, round);
+      ASSERT_EQ(cached, uncached)
+          << "block " << info.block.to_string() << " round " << round;
+      ASSERT_NE(cached, anycast::kUnknownSite);
+      cached_picks.insert(cached);
+    }
+  }
+  // 800 uniform draws over 39 sites miss a given site with p ~ 1e-9; the
+  // pre-fix 32-entry cap made sites 33..39 unreachable.
+  EXPECT_GT(*cached_picks.rbegin(), 32);
+  EXPECT_GE(cached_picks.size(), 38u);
+}
+
+}  // namespace
+}  // namespace vp

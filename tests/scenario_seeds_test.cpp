@@ -16,7 +16,8 @@ namespace vp::analysis {
 namespace {
 
 core::RoundResult one_round(const Scenario& scenario, std::uint32_t round) {
-  const auto routes = scenario.route(scenario.broot());
+  const auto routes_ptr = scenario.route(scenario.broot());
+  const auto& routes = *routes_ptr;
   core::RoundSpec spec;
   spec.probe.measurement_id = 600 + round;
   spec.round = round;
@@ -29,7 +30,8 @@ TEST(ScenarioSeeds, CoverageAndStabilityHoldAcrossSeeds) {
     config.seed = seed;
     config.scale = 0.05;
     const Scenario scenario{config};
-    const auto routes = scenario.route(scenario.broot());
+    const auto routes_ptr = scenario.route(scenario.broot());
+    const auto& routes = *routes_ptr;
 
     core::ProbeConfig probe;
     probe.measurement_id = 700;

@@ -20,7 +20,8 @@ class PipelineSweep : public ::testing::TestWithParam<std::uint64_t> {
 };
 
 TEST_P(PipelineSweep, MeasurementAgreesWithGroundTruthEverywhere) {
-  const auto routes = scenario_->route(scenario_->broot());
+  const auto routes_ptr = scenario_->route(scenario_->broot());
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 1;
   const auto round = scenario_->verfploeter().run(routes, {probe, 0});
@@ -33,7 +34,8 @@ TEST_P(PipelineSweep, MeasurementAgreesWithGroundTruthEverywhere) {
 }
 
 TEST_P(PipelineSweep, ResponseRateStaysInHitlistBand) {
-  const auto routes = scenario_->route(scenario_->broot());
+  const auto routes_ptr = scenario_->route(scenario_->broot());
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 2;
   const auto round = scenario_->verfploeter().run(routes, {probe, 0});
@@ -51,7 +53,8 @@ TEST_P(PipelineSweep, PrependingNeverDecreasesLaxShare) {
        std::vector<std::pair<const char*, int>>{
            {"LAX", 1}, {"LAX", 0}, {"MIA", 1}, {"MIA", 3}}) {
     const auto deployment = scenario_->broot().with_prepend(site, amount);
-    const auto routes = scenario_->route(deployment);
+    const auto routes_ptr = scenario_->route(deployment);
+    const auto& routes = *routes_ptr;
     core::ProbeConfig probe;
     probe.measurement_id = static_cast<std::uint32_t>(10 + step++);
     const auto map =
@@ -64,7 +67,8 @@ TEST_P(PipelineSweep, PrependingNeverDecreasesLaxShare) {
 }
 
 TEST_P(PipelineSweep, TangledHidesGruAndServesTheRest) {
-  const auto routes = scenario_->route(scenario_->tangled());
+  const auto routes_ptr = scenario_->route(scenario_->tangled());
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 3;
   const auto map = scenario_->verfploeter().run(routes, {probe, 0}).map;
@@ -78,7 +82,8 @@ TEST_P(PipelineSweep, TangledHidesGruAndServesTheRest) {
 }
 
 TEST_P(PipelineSweep, CleaningDropsAreBounded) {
-  const auto routes = scenario_->route(scenario_->broot());
+  const auto routes_ptr = scenario_->route(scenario_->broot());
+  const auto& routes = *routes_ptr;
   core::ProbeConfig probe;
   probe.measurement_id = 4;
   const auto round = scenario_->verfploeter().run(routes, {probe, 0});

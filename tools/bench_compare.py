@@ -22,6 +22,13 @@ Also computes the metrics-layer overhead from bench_metrics'
 BM_RoundMetrics/1 (metrics on) vs BM_RoundMetrics/0 (off) and fails when
 it exceeds --overhead-fail-pct (default 10%; the design budget is 2% —
 see DESIGN.md §11 — but CI noise needs headroom).
+
+The baseline's "cache_gates" section records minimum cached-vs-uncached
+speedup ratios for the catchment/route caches (DESIGN.md §12). Each gate
+names a slow and a fast benchmark from the same run; the job fails when
+slow/fast drops below min_ratio. Ratios within one run are immune to
+runner-speed differences, so these gates are much tighter than the
+absolute-time band. --update preserves the section verbatim.
 """
 import argparse
 import json
@@ -84,6 +91,18 @@ def compare(baseline, current, warn_pct, fail_pct):
     return failures, warnings
 
 
+def cache_speedups(current, gates):
+    """(gate name, measured slow/fast ratio, min_ratio) per cache gate."""
+    rows = []
+    for name, gate in sorted(gates.items()):
+        slow = current.get(gate["slow"])
+        fast = current.get(gate["fast"])
+        if not slow or not fast:
+            continue  # gate's benchmarks not in this run
+        rows.append((name, in_ns(slow) / in_ns(fast), gate["min_ratio"]))
+    return rows
+
+
 def metrics_overhead(current):
     """Percent overhead of BM_RoundMetrics with metrics on vs off."""
     off = current.get("BM_RoundMetrics/0")
@@ -115,6 +134,13 @@ def main():
 
     if args.update:
         doc = {"context": args.context, "benchmarks": current}
+        try:  # the speedup gates are hand-set; carry them through refreshes
+            with open(args.baseline) as f:
+                gates = json.load(f).get("cache_gates")
+            if gates:
+                doc["cache_gates"] = gates
+        except (OSError, json.JSONDecodeError):
+            pass
         with open(args.baseline, "w") as f:
             json.dump(doc, f, indent=2, sort_keys=True)
             f.write("\n")
@@ -123,7 +149,8 @@ def main():
         return 0
 
     with open(args.baseline) as f:
-        baseline = json.load(f)["benchmarks"]
+        doc = json.load(f)
+    baseline = doc["benchmarks"]
 
     failures, warnings = compare(baseline, current,
                                  args.warn_pct, args.fail_pct)
@@ -136,6 +163,14 @@ def main():
               f"{args.overhead_fail_pct:.0f}%)")
         if overhead > args.overhead_fail_pct:
             failures.append(f"metrics overhead {overhead:+.2f}%")
+
+    for name, ratio, need in cache_speedups(current,
+                                            doc.get("cache_gates", {})):
+        status = "ok" if ratio >= need else "FAIL"
+        print(f"{status:5} {name}: cached path {ratio:.1f}x faster than "
+              f"uncached (gate >= {need:g}x, same-run ratio)")
+        if ratio < need:
+            failures.append(f"{name} speedup {ratio:.1f}x < {need:g}x")
 
     print(f"\n{len(failures)} failure(s), {len(warnings)} warning(s), "
           f"{len(current)} benchmark(s) compared")

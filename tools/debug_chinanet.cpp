@@ -6,7 +6,8 @@ int main() {
   analysis::ScenarioConfig config; config.scale = 0.5;
   analysis::Scenario sc{config};
   for (auto dep : {&sc.tangled(), &sc.broot()}) {
-    auto routes = sc.route(*dep);
+    const auto routes_ptr = sc.route(*dep);
+    const auto& routes = *routes_ptr;
     printf("== %s ==\n", dep->name.c_str());
     for (unsigned asn : {4134u, 7922u, 6983u, 37963u}) {
       auto id = sc.topo().find_as(topology::AsNumber{asn});

@@ -9,13 +9,15 @@ int main() {
   const Cfg cfgs[] = {{"+1 LAX","LAX",1},{"equal","LAX",0},{"+1 MIA","MIA",1},{"+2 MIA","MIA",2},{"+3 MIA","MIA",3}};
   for (const auto& c : cfgs) {
     auto dep = sc.broot().with_prepend(c.site, c.n);
-    auto routes = sc.route(dep, analysis::kAprilEpoch);
+    const auto routes_ptr = sc.route(dep, analysis::kAprilEpoch);
+    const auto& routes = *routes_ptr;
     core::RoundSpec spec;
     auto r = sc.verfploeter().run(routes, spec);
     printf("%-7s frac LAX = %.3f (mapped %zu)\n", c.label, r.map.fraction_to(0), r.map.mapped_blocks());
   }
   // Tangled
-  auto routes = sc.route(sc.tangled());
+  const auto routes_ptr = sc.route(sc.tangled());
+  const auto& routes = *routes_ptr;
   core::RoundSpec spec;
   auto r = sc.verfploeter().run(routes, spec);
   auto counts = r.map.per_site_counts(sc.tangled().sites.size());

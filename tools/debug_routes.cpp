@@ -7,7 +7,8 @@ int main() {
   config.scale = (getenv("DBG_SCALE") ? atof(getenv("DBG_SCALE")) : 0.25);
   analysis::Scenario scenario{config};
   const auto& topo = scenario.topo();
-  const auto routes = scenario.route(scenario.broot());
+  const auto routes_ptr = scenario.route(scenario.broot());
+  const auto& routes = *routes_ptr;
   int multi = 0;
   for (topology::AsId a = 0; a < topo.as_count(); ++a) {
     const auto& node = topo.as_at(a);

@@ -8,7 +8,8 @@
 using namespace vp;
 int main() {
   analysis::Scenario sc{analysis::ScenarioConfig{42, 1.0}};
-  auto routes = sc.route(sc.broot(), analysis::kAprilEpoch);
+  const auto routes_ptr = sc.route(sc.broot(), analysis::kAprilEpoch);
+  const auto& routes = *routes_ptr;
   core::RoundSpec spec; spec.probe.measurement_id = 412;
   auto map = sc.verfploeter().run(routes, spec).map;
   auto load = sc.broot_load(0x20170412);
