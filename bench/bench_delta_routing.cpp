@@ -1,0 +1,137 @@
+// Incremental-routing benchmarks (google-benchmark).
+//
+// The RoutingEngine's pitch is that a configuration *change* should cost
+// the affected-AS set, not the Internet. These benchmarks pin that down
+// on the Tangled deployment:
+//   BM_FullReroute        — a from-scratch full() after a one-site
+//                           prepend change (what every sweep step paid
+//                           before the engine existed);
+//   BM_DeltaApplyPrepend  — the same change as an engine apply();
+//   BM_DeltaWithdraw      — announce/withdraw flapping of one site;
+//   BM_DeltaSweep28       — the 28-config prepend sweep of
+//                           bench_route_cache walked as one delta
+//                           session vs BM_FullSweep28 recomputing each.
+// tools/bench_compare.py gates the same-run full/delta ratios via
+// baseline.json's "delta_gates" (one-site prepend must be >= 10x).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "anycast/deployment.hpp"
+#include "bgp/routing_engine.hpp"
+#include "util/rng.hpp"
+
+using namespace vp;
+
+namespace {
+
+const analysis::Scenario& shared_scenario() {
+  static const analysis::Scenario scenario{[] {
+    analysis::ScenarioConfig config = analysis::ScenarioConfig::from_env();
+    config.scale = 0.1;
+    return config;
+  }()};
+  return scenario;
+}
+
+bgp::RoutingOptions tangled_options() {
+  const auto& scenario = shared_scenario();
+  bgp::RoutingOptions options;
+  options.tiebreak_salt =
+      util::hash_combine(scenario.config().seed, analysis::kMayEpoch);
+  return options;
+}
+
+// The 28-config sweep of bench_route_cache: the base deployment plus
+// every site prepended at depths 1..3.
+std::vector<anycast::Deployment> sweep_deployments() {
+  const anycast::Deployment& base = shared_scenario().tangled();
+  std::vector<anycast::Deployment> sweep;
+  sweep.push_back(base);
+  for (const auto& site : base.sites)
+    for (int depth = 1; depth <= 3; ++depth)
+      sweep.push_back(base.with_prepend(site.code, depth));
+  return sweep;
+}
+
+void BM_FullReroute(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const bgp::RoutingOptions options = tangled_options();
+  const auto prepended = scenario.tangled().with_prepend("MIA", 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bgp::RoutingEngine{scenario.topo(), prepended, options}.full());
+  }
+  state.counters["ases"] = static_cast<double>(scenario.topo().as_count());
+}
+BENCHMARK(BM_FullReroute)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaApplyPrepend(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  bgp::RoutingEngine engine{scenario.topo(), scenario.tangled(),
+                            tangled_options()};
+  engine.full();
+  const auto site = *scenario.tangled().site_by_code("MIA");
+  // Alternate two depths so every iteration applies a real change.
+  int depth = 2;
+  std::size_t recomputed = 0;
+  for (auto _ : state) {
+    const auto result =
+        engine.apply(anycast::ConfigDelta::set_prepend(site, depth));
+    benchmark::DoNotOptimize(result.table);
+    recomputed = result.recomputed_ases;
+    depth = depth == 2 ? 3 : 2;
+  }
+  state.counters["recomputed_ases"] = static_cast<double>(recomputed);
+  state.counters["ases"] = static_cast<double>(scenario.topo().as_count());
+}
+BENCHMARK(BM_DeltaApplyPrepend)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaWithdraw(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  bgp::RoutingEngine engine{scenario.topo(), scenario.tangled(),
+                            tangled_options()};
+  engine.full();
+  const auto site = *scenario.tangled().site_by_code("SYD");
+  bool up = true;
+  for (auto _ : state) {
+    const auto delta = up ? anycast::ConfigDelta::withdraw(site)
+                          : anycast::ConfigDelta::announce(site);
+    benchmark::DoNotOptimize(engine.apply(delta).table);
+    up = !up;
+  }
+}
+BENCHMARK(BM_DeltaWithdraw)->Unit(benchmark::kMillisecond);
+
+void BM_FullSweep28(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto sweep = sweep_deployments();
+  const bgp::RoutingOptions options = tangled_options();
+  for (auto _ : state) {
+    for (const auto& deployment : sweep)
+      benchmark::DoNotOptimize(
+          bgp::RoutingEngine{scenario.topo(), deployment, options}.full());
+  }
+  state.counters["configs"] = static_cast<double>(sweep.size());
+}
+BENCHMARK(BM_FullSweep28)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaSweep28(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const auto sweep = sweep_deployments();
+  for (auto _ : state) {
+    // One engine session per sweep; the first configuration pays the
+    // full propagation, every later one only its delta from the
+    // previous configuration.
+    auto session = scenario.delta_session(scenario.tangled());
+    for (const auto& deployment : sweep)
+      benchmark::DoNotOptimize(session.route_to(deployment));
+  }
+  state.counters["configs"] = static_cast<double>(sweep.size());
+}
+BENCHMARK(BM_DeltaSweep28)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

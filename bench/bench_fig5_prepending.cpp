@@ -27,12 +27,16 @@ int main() {
       {"prepending", "Atlas (VPs)", "Verfploeter (/24 blocks)"},
       {util::Align::kLeft}};
   std::vector<double> verf_series, atlas_series;
+  // The sweep is one routing session: each configuration is reached from
+  // the previous one by an incremental delta apply, so only the ASes
+  // whose best path changes are recomputed between rows.
+  auto session = scenario.delta_session(scenario.broot(), analysis::kAprilEpoch);
   for (const Config& config : configs) {
     // Each prepending configuration was "taken once on a different day"
     // (§6.1) — model with distinct rounds on the April epoch.
     const auto deployment =
         scenario.broot().with_prepend(config.site, config.amount);
-    const auto routes_ptr = scenario.route(deployment, analysis::kAprilEpoch);
+    const auto routes_ptr = session.route_to(deployment);
     const auto& routes = *routes_ptr;
     core::ProbeConfig probe;
     probe.measurement_id =

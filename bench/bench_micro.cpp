@@ -5,6 +5,7 @@
 
 #include "analysis/scenario.hpp"
 #include "bgp/catchment_resolver.hpp"
+#include "bgp/routing_engine.hpp"
 #include "net/checksum.hpp"
 #include "net/packet.hpp"
 #include "net/prefix_trie.hpp"
@@ -183,7 +184,7 @@ void BM_ComputeRoutes(benchmark::State& state) {
   const auto& scenario = shared_scenario();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        bgp::compute_routes(scenario.topo(), scenario.broot()));
+        bgp::RoutingEngine{scenario.topo(), scenario.broot()}.full());
   }
   state.counters["ases"] =
       static_cast<double>(scenario.topo().as_count());

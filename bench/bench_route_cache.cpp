@@ -18,6 +18,7 @@
 #include "analysis/scenario.hpp"
 #include "bgp/catchment_resolver.hpp"
 #include "bgp/route_cache.hpp"
+#include "bgp/routing_engine.hpp"
 #include "sim/flips.hpp"
 #include "util/rng.hpp"
 
@@ -61,7 +62,7 @@ void BM_PrependSweepUncached(benchmark::State& state) {
   for (auto _ : state) {
     for (const auto& deployment : sweep)
       benchmark::DoNotOptimize(
-          bgp::compute_routes(scenario.topo(), deployment, options));
+          bgp::RoutingEngine{scenario.topo(), deployment, options}.full());
   }
   state.counters["configs"] = static_cast<double>(sweep.size());
 }

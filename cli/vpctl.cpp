@@ -6,6 +6,8 @@
 //
 //   vpctl scan      [--deployment broot|tangled] [--prepend SITE=N]
 //                   [--out catchment.csv]
+//   vpctl sweep     [--deployment ...] [--site CODE] [--max-prepend N]
+//                   [--delta-sweep]
 //   vpctl campaign  [--deployment ...] [--rounds N] [--interval-min M]
 //   vpctl atlas     [--deployment ...]
 //   vpctl predict   [--catchment file.csv] [--date apr|may]
@@ -64,7 +66,8 @@ struct Args {
 
 /// Flags that take no value.
 bool is_boolean_flag(std::string_view key) {
-  return key == "resume" || key == "no-metrics" || key == "no-route-cache";
+  return key == "resume" || key == "no-metrics" || key == "no-route-cache" ||
+         key == "delta-sweep";
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -102,6 +105,7 @@ int usage() {
       "\n"
       "commands:\n"
       "  scan         run one Verfploeter round, print the catchment split\n"
+      "  sweep        prepend sweep over one site, one round per config\n"
       "  campaign     run a multi-round stability campaign (Figure 9 style)\n"
       "  atlas        run a RIPE-Atlas-style campaign for comparison\n"
       "  predict      predict per-site load from a catchment + query logs\n"
@@ -127,9 +131,20 @@ int usage() {
       "  --no-route-cache   recompute routes and resolve catchments\n"
       "                     per probe instead of using the precomputed\n"
       "                     tables (results identical; A/B escape hatch)\n"
+      "  --route-cache-bytes N  cap retained route-cache table memory;\n"
+      "                     least-recently-used tables are evicted\n"
+      "                     (default 0 = unbounded; env VP_ROUTE_CACHE_BYTES)\n"
       "scan options:\n"
       "  --prepend SITE=N   AS-prepend the SITE announcement N times\n"
       "  --out FILE         write the catchment as CSV\n"
+      "sweep options:\n"
+      "  --site CODE        site whose announcement is prepended\n"
+      "                     (default MIA)\n"
+      "  --max-prepend N    sweep prepend 0..N (default 3)\n"
+      "  --delta-sweep      walk the sweep as one incremental routing\n"
+      "                     session: each step recomputes only the ASes\n"
+      "                     whose best path changes (results identical\n"
+      "                     to full per-config recomputation)\n"
       "campaign options:\n"
       "  --rounds N         number of rounds (default 16)\n"
       "  --interval-min M   minutes between rounds (default 15)\n"
@@ -160,6 +175,12 @@ analysis::Scenario make_scenario(const Args& args) {
   config.scale = args.get_double("scale", 0.4);
   config.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
   config.route_cache = !args.has("no-route-cache");
+  if (args.has("route-cache-bytes")) {
+    config.route_cache_bytes =
+        static_cast<std::size_t>(args.get_long("route-cache-bytes", 0));
+  } else if (const char* env = std::getenv("VP_ROUTE_CACHE_BYTES")) {
+    config.route_cache_bytes = std::strtoull(env, nullptr, 10);
+  }
   std::printf("building simulated Internet (scale %.2f, seed %llu)...\n",
               config.scale,
               static_cast<unsigned long long>(config.seed));
@@ -319,6 +340,64 @@ int cmd_scan(const Args& args) {
     }
     std::printf("catchment written to %s\n", path.c_str());
   }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto scenario = make_scenario(args);
+  const auto& base = pick_deployment(scenario, args);
+  const std::string site_code = args.get("site", "MIA");
+  const auto site = base.site_by_code(site_code);
+  if (!site) {
+    std::fprintf(stderr, "error: deployment has no site '%s'\n",
+                 site_code.c_str());
+    return usage();
+  }
+  const int max_prepend = static_cast<int>(args.get_long("max-prepend", 3));
+  const bool delta = args.has("delta-sweep");
+  std::printf("sweeping %s prepend 0..%d (%s routing)\n", site_code.c_str(),
+              max_prepend, delta ? "incremental delta" : "full per config");
+
+  // One engine session for the whole sweep; consecutive configurations
+  // differ in one site, so each --delta-sweep step touches only the
+  // affected-AS set. Without the flag every step routes from scratch
+  // (through the scenario's cache) — the tables are identical either way.
+  auto session = scenario.delta_session(base);
+  util::Table table{{"prepend", "recomputed ASes", site_code + " share",
+                     "largest share"},
+                    {util::Align::kRight}};
+  for (int n = 0; n <= max_prepend; ++n) {
+    std::shared_ptr<const bgp::RoutingTable> routes;
+    std::string recomputed = "-";
+    if (delta) {
+      const auto result =
+          session.apply(anycast::ConfigDelta::set_prepend(*site, n));
+      routes = result.table;
+      recomputed = util::with_commas(result.recomputed_ases) + " / " +
+                   util::with_commas(scenario.topo().as_count());
+    } else {
+      anycast::Deployment config = base;
+      config.sites[static_cast<std::size_t>(*site)].prepend = n;
+      routes = scenario.route(config);
+    }
+    core::RoundSpec spec;
+    spec.probe.measurement_id = static_cast<std::uint32_t>(9100 + n);
+    apply_retry_args(spec.probe, args);
+    spec.round = static_cast<std::uint32_t>(n);
+    spec.threads = probe_threads(args);
+    const auto round = scenario.verfploeter().run(*routes, spec);
+    const auto counts = round.map.per_site_counts(base.sites.size());
+    std::size_t largest = 0;
+    for (std::size_t s = 1; s < counts.size(); ++s)
+      if (counts[s] > counts[largest]) largest = s;
+    table.add_row(
+        {"+" + std::to_string(n), recomputed,
+         util::percent(round.map.fraction_to(*site)),
+         base.sites[largest].code + " " +
+             util::percent(round.map.fraction_to(
+                 static_cast<anycast::SiteId>(largest)))});
+  }
+  std::printf("%s", table.to_string().c_str());
   return 0;
 }
 
@@ -507,6 +586,7 @@ int cmd_export_load(const Args& args) {
 
 int dispatch(const Args& args) {
   if (args.command == "scan") return cmd_scan(args);
+  if (args.command == "sweep") return cmd_sweep(args);
   if (args.command == "campaign") return cmd_campaign(args);
   if (args.command == "atlas") return cmd_atlas(args);
   if (args.command == "predict") return cmd_predict(args);

@@ -19,6 +19,9 @@ ScenarioConfig ScenarioConfig::from_env() {
   if (const char* off = std::getenv("VP_NO_ROUTE_CACHE")) {
     if (off[0] != '\0' && off[0] != '0') config.route_cache = false;
   }
+  if (const char* cap = std::getenv("VP_ROUTE_CACHE_BYTES")) {
+    config.route_cache_bytes = std::strtoull(cap, nullptr, 10);
+  }
   return config;
 }
 
@@ -59,8 +62,8 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
   atlas_small_ = std::make_unique<atlas::AtlasPlatform>(
       *topo_, internet_->responsiveness(), small);
 
-  route_cache_ =
-      std::make_unique<bgp::RouteCache>(*topo_, config.route_cache);
+  route_cache_ = std::make_unique<bgp::RouteCache>(
+      *topo_, config.route_cache, config.route_cache_bytes);
   bgp::set_catchment_cache_enabled(config.route_cache);
 
   broot_ = anycast::make_broot(*topo_);
@@ -72,6 +75,21 @@ std::shared_ptr<const bgp::RoutingTable> Scenario::route(
   bgp::RoutingOptions options;
   options.tiebreak_salt = util::hash_combine(config_.seed, epoch_salt);
   return route_cache_->routes(deployment, options);
+}
+
+std::shared_ptr<const bgp::RoutingTable> Scenario::route_delta(
+    const anycast::Deployment& base, const anycast::ConfigDelta& delta,
+    std::uint64_t epoch_salt) const {
+  bgp::RoutingOptions options;
+  options.tiebreak_salt = util::hash_combine(config_.seed, epoch_salt);
+  return route_cache_->routes_delta(base, delta, options);
+}
+
+DeltaSession Scenario::delta_session(const anycast::Deployment& base,
+                                     std::uint64_t epoch_salt) const {
+  bgp::RoutingOptions options;
+  options.tiebreak_salt = util::hash_combine(config_.seed, epoch_salt);
+  return DeltaSession{*topo_, base, options};
 }
 
 dnsload::LoadModel Scenario::broot_load(std::uint64_t date_seed) const {

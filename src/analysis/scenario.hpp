@@ -20,6 +20,7 @@
 #include "atlas/atlas.hpp"
 #include "bgp/route_cache.hpp"
 #include "bgp/routing.hpp"
+#include "bgp/routing_engine.hpp"
 #include "core/verfploeter.hpp"
 #include "dnsload/load_model.hpp"
 #include "hitlist/hitlist.hpp"
@@ -31,18 +32,58 @@ namespace vp::analysis {
 struct ScenarioConfig {
   std::uint64_t seed = 42;
   double scale = 1.0;  // multiplies the default 120k-block Internet
-  /// Memoize compute_routes across deployment sweeps and precompute the
+  /// Memoize route computation across deployment sweeps and precompute the
   /// per-table block->site catchment tables. Results are byte-identical
   /// either way (vpctl --no-route-cache / route_cache_test A/B).
   bool route_cache = true;
-  /// Reads VP_SCALE, VP_SEED, and VP_NO_ROUTE_CACHE from the environment
-  /// (bench knobs).
+  /// Byte cap on retained route-cache tables (0 = unbounded); LRU
+  /// eviction by RoutingTable::memory_bytes() accounting.
+  std::size_t route_cache_bytes = 0;
+  /// Reads VP_SCALE, VP_SEED, VP_NO_ROUTE_CACHE, and VP_ROUTE_CACHE_BYTES
+  /// from the environment (bench knobs).
   static ScenarioConfig from_env();
 };
 
 /// Routing-epoch salts for the paper's two measurement dates.
 inline constexpr std::uint64_t kAprilEpoch = 0x20170421;
 inline constexpr std::uint64_t kMayEpoch = 0x20170515;
+
+/// A stateful routing session for configuration sweeps: owns a
+/// bgp::RoutingEngine seeded at a base deployment under one routing epoch
+/// and walks the sweep by incremental deltas. On Tangled-scale
+/// topologies a one-site change recomputes only the affected-AS set
+/// instead of re-routing the whole Internet (vpctl --delta-sweep,
+/// bench_delta_routing). Not thread-safe across route_to calls; the
+/// returned tables are immutable and freely shared.
+class DeltaSession {
+ public:
+  DeltaSession(const topology::Topology& topo, const anycast::Deployment& base,
+               const bgp::RoutingOptions& options)
+      : engine_(topo, base, options) {}
+
+  /// Applies `delta` to the session's current configuration and returns
+  /// the new table plus the changed-AS summary.
+  bgp::ApplyResult apply(const anycast::ConfigDelta& delta) {
+    return engine_.apply(delta);
+  }
+
+  /// Routes for `target`, reached by diffing the session's current
+  /// configuration against it and applying only that delta.
+  std::shared_ptr<const bgp::RoutingTable> route_to(
+      const anycast::Deployment& target) {
+    return engine_.apply(anycast::ConfigDelta::diff(engine_.deployment(),
+                                                    target))
+        .table;
+  }
+
+  /// The session's current configuration.
+  anycast::Deployment deployment() const { return engine_.deployment(); }
+
+  bgp::RoutingEngine& engine() { return engine_; }
+
+ private:
+  bgp::RoutingEngine engine_;
+};
 
 class Scenario {
  public:
@@ -63,14 +104,28 @@ class Scenario {
 
   /// Routes for a deployment under a routing epoch. Served from the
   /// scenario's route cache when enabled (sweeps that re-route the same
-  /// deployment pay compute_routes once); the returned pointer keeps its
+  /// deployment pay the route computation once); the returned pointer keeps its
   /// own deployment copy alive, so short-lived deployment values are fine.
   std::shared_ptr<const bgp::RoutingTable> route(
       const anycast::Deployment& deployment,
       std::uint64_t epoch_salt = kMayEpoch) const;
 
-  /// The scenario's memoized compute_routes front-end (stats, clear,
-  /// enable/disable).
+  /// Routes for `base` with `delta` applied, served through the route
+  /// cache (keyed on the post-delta configuration, so delta-derived and
+  /// directly-routed lookups of the same configuration unify).
+  std::shared_ptr<const bgp::RoutingTable> route_delta(
+      const anycast::Deployment& base, const anycast::ConfigDelta& delta,
+      std::uint64_t epoch_salt = kMayEpoch) const;
+
+  /// A delta-routing session seeded at `base` under `epoch_salt` — the
+  /// sweep-oriented counterpart of route(): subsequent configurations
+  /// are reached by incremental delta application instead of full
+  /// recomputation.
+  DeltaSession delta_session(const anycast::Deployment& base,
+                             std::uint64_t epoch_salt = kMayEpoch) const;
+
+  /// The scenario's memoized routing front-end (stats, clear,
+  /// enable/disable, byte cap).
   const bgp::RouteCache& route_cache() const { return *route_cache_; }
 
   /// B-Root-like load for a "date" (seed); .nl-like load for Figure 4b.

@@ -35,6 +35,82 @@ std::uint64_t fingerprint(const Deployment& d) {
   return f;
 }
 
+ConfigDelta ConfigDelta::set_prepend(SiteId site, int prepend) {
+  SiteDelta change;
+  change.site = site;
+  change.prepend = prepend;
+  ConfigDelta delta;
+  delta.sites.push_back(change);
+  return delta;
+}
+
+ConfigDelta ConfigDelta::announce(SiteId site) {
+  SiteDelta change;
+  change.site = site;
+  change.enabled = true;
+  ConfigDelta delta;
+  delta.sites.push_back(change);
+  return delta;
+}
+
+ConfigDelta ConfigDelta::withdraw(SiteId site) {
+  SiteDelta change;
+  change.site = site;
+  change.enabled = false;
+  ConfigDelta delta;
+  delta.sites.push_back(change);
+  return delta;
+}
+
+ConfigDelta ConfigDelta::diff(const Deployment& base,
+                              const Deployment& target) {
+  ConfigDelta delta;
+  const std::size_t n = std::min(base.sites.size(), target.sites.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const AnycastSite& from = base.sites[i];
+    const AnycastSite& to = target.sites[i];
+    SiteDelta change;
+    change.site = static_cast<SiteId>(i);
+    if (from.prepend != to.prepend) change.prepend = to.prepend;
+    if (from.enabled != to.enabled) change.enabled = to.enabled;
+    if (from.hidden != to.hidden) change.hidden = to.hidden;
+    if (change.prepend || change.enabled || change.hidden)
+      delta.sites.push_back(change);
+  }
+  return delta;
+}
+
+void ConfigDelta::apply_to(Deployment& deployment) const {
+  for (const SiteDelta& change : sites) {
+    if (change.site < 0 ||
+        static_cast<std::size_t>(change.site) >= deployment.sites.size())
+      continue;
+    AnycastSite& site = deployment.sites[static_cast<std::size_t>(change.site)];
+    if (change.prepend) site.prepend = *change.prepend;
+    if (change.enabled) site.enabled = *change.enabled;
+    if (change.hidden) site.hidden = *change.hidden;
+  }
+}
+
+std::uint64_t ConfigDelta::fingerprint() const {
+  std::uint64_t f = 0x64656c7461ULL;  // "delta"
+  f = util::hash_combine(f, sites.size());
+  for (const SiteDelta& change : sites) {
+    f = util::hash_combine(f, static_cast<std::uint64_t>(
+                                  static_cast<std::int64_t>(change.site)));
+    f = util::hash_combine(
+        f, change.prepend
+               ? 0x100u | static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(*change.prepend) & 0xff)
+               : 0u);
+    f = util::hash_combine(f, change.enabled ? (2u | (*change.enabled ? 1u : 0u))
+                                             : 0u);
+    f = util::hash_combine(f, change.hidden ? (2u | (*change.hidden ? 1u : 0u))
+                                            : 0u);
+  }
+  return f;
+}
+
 std::size_t Deployment::active_site_count() const {
   return static_cast<std::size_t>(
       std::count_if(sites.begin(), sites.end(), [](const AnycastSite& s) {

@@ -58,6 +58,45 @@ struct Deployment {
 /// fingerprint so a journal is never resumed against different sites.
 std::uint64_t fingerprint(const Deployment& deployment);
 
+/// One site's worth of configuration change. Fields left unset keep the
+/// site's current value; the delta machinery only reacts to fields that
+/// actually change something (setting prepend to its current value is a
+/// no-op and recomputes nothing).
+struct SiteDelta {
+  SiteId site = kUnknownSite;
+  std::optional<int> prepend;
+  std::optional<bool> enabled;
+  std::optional<bool> hidden;
+};
+
+/// A batch of per-site changes applied atomically between two routing
+/// states — the unit `bgp::RoutingEngine::apply` consumes. Operational
+/// knobs only: site membership, prepend depth, enable/hide toggles. The
+/// prefix, origin ASN, and site *locations* are fixed for a deployment's
+/// lifetime (changing those is a new deployment, not a delta).
+struct ConfigDelta {
+  std::vector<SiteDelta> sites;
+
+  bool empty() const { return sites.empty(); }
+
+  /// Convenience single-change builders.
+  static ConfigDelta set_prepend(SiteId site, int prepend);
+  static ConfigDelta announce(SiteId site);  // enabled = true
+  static ConfigDelta withdraw(SiteId site);  // enabled = false
+
+  /// The change set turning `base` into `target`. Site lists must match
+  /// in size, codes, upstreams, and locations — only the mutable knobs
+  /// may differ. Returns an empty delta for identical configs.
+  static ConfigDelta diff(const Deployment& base, const Deployment& target);
+
+  /// Mutates `deployment` in place. Out-of-range site ids are ignored.
+  void apply_to(Deployment& deployment) const;
+
+  /// Order-sensitive hash of the change set (used for cache keys and
+  /// metrics labels; distinct from the post-delta deployment fingerprint).
+  std::uint64_t fingerprint() const;
+};
+
 /// B-Root after its May 2017 anycast deployment: LAX + MIA (Table 3).
 Deployment make_broot(const topology::Topology& topo);
 

@@ -3,28 +3,36 @@
 // Prepending and placement searches (analysis::Scenario, bench_fig5/6,
 // bench_ext_placement, bench_table6/7, tools/debug_prepend) re-route the
 // same topology over and over — Anycast-Agility-style playbook searches
-// do it hundreds of times — and compute_routes is the single most
-// expensive call in those loops. Catchments are a pure function of
+// do it hundreds of times — and a full routing computation is the single
+// most expensive call in those loops. Catchments are a pure function of
 // (topology, deployment, routing options), so the cache keys each
 // computed RoutingTable by (anycast::fingerprint(deployment),
 // tiebreak_salt, epoch_jitter_rate) and hands out one shared immutable
 // table per distinct configuration — shared across rounds, probe worker
-// threads, and campaign resumes.
+// threads, and campaign resumes. Computation goes through a one-shot
+// bgp::RoutingEngine; the delta-aware entry point `routes_delta` keys on
+// the *post-delta* fingerprint, so a table reached by delta and the same
+// configuration routed directly unify on one cache entry.
 //
-// Lifetime: the cache copies the deployment it routes, and the returned
-// shared_ptr keeps that copy alive (RoutingTable holds pointers into its
-// deployment), so callers may pass short-lived Deployment values — e.g.
+// Bounded: an optional byte cap (vpctl --route-cache-bytes /
+// VP_ROUTE_CACHE_BYTES) evicts least-recently-used entries by
+// RoutingTable::memory_bytes() accounting. The most recent entry is
+// never evicted; outstanding shared_ptrs always stay valid.
+//
+// Lifetime: tables own a copy of their deployment, so callers may pass
+// short-lived Deployment values — e.g.
 // `cache.routes(broot.with_prepend("MIA", 2), opts)` — and hold only the
 // table. One cache per Topology; the topology must outlive it.
 //
 // Determinism: a hit returns a table whose every answer is identical to
 // a fresh computation (tests/route_cache_test.cpp byte-compares whole
-// campaigns cache-on vs cache-off). Hit/miss/bytes are surfaced through
-// obs::MetricsRegistry (vp_bgp_route_cache_*).
+// campaigns cache-on vs cache-off). Hit/miss/bytes/evictions are
+// surfaced through obs::MetricsRegistry (vp_bgp_route_cache_*).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -37,14 +45,17 @@ namespace vp::bgp {
 struct RouteCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
   std::size_t entries = 0;
   std::size_t bytes = 0;  // approximate retained table memory
 };
 
 class RouteCache {
  public:
-  explicit RouteCache(const topology::Topology& topo, bool enabled = true)
-      : topo_(&topo), enabled_(enabled) {}
+  /// `byte_limit` caps retained table memory (0 = unbounded).
+  explicit RouteCache(const topology::Topology& topo, bool enabled = true,
+                      std::size_t byte_limit = 0)
+      : topo_(&topo), enabled_(enabled), byte_limit_(byte_limit) {}
 
   RouteCache(const RouteCache&) = delete;
   RouteCache& operator=(const RouteCache&) = delete;
@@ -56,6 +67,13 @@ class RouteCache {
       const anycast::Deployment& deployment,
       const RoutingOptions& options = {}) const;
 
+  /// The table for `base` with `delta` applied. Keys on the post-delta
+  /// deployment fingerprint, so sweeps expressed as deltas and the same
+  /// configurations routed directly share cache entries.
+  std::shared_ptr<const RoutingTable> routes_delta(
+      const anycast::Deployment& base, const anycast::ConfigDelta& delta,
+      const RoutingOptions& options = {}) const;
+
   /// When disabled every call computes fresh and retains nothing —
   /// results are identical (vpctl --no-route-cache A/B).
   void set_enabled(bool on) noexcept {
@@ -64,6 +82,11 @@ class RouteCache {
   bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
   }
+
+  /// Adjusts the byte cap (0 = unbounded); evicts immediately if the
+  /// retained set now exceeds it.
+  void set_byte_limit(std::size_t bytes);
+  std::size_t byte_limit() const;
 
   RouteCacheStats stats() const;
 
@@ -80,18 +103,24 @@ class RouteCache {
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept;
   };
-  /// Owns the deployment copy the table points into; returned pointers
-  /// alias into this so the copy lives as long as any user of the table.
-  struct Holder;
+  struct Entry {
+    std::shared_ptr<const RoutingTable> table;
+    std::size_t bytes = 0;
+    std::list<Key>::iterator lru;  // position in lru_ (front = hottest)
+  };
+
+  /// Evicts LRU entries until within the cap; requires mutex_ held.
+  void enforce_limit_locked() const;
 
   const topology::Topology* topo_;
   std::atomic<bool> enabled_;
   mutable std::mutex mutex_;
-  mutable std::unordered_map<Key, std::shared_ptr<const RoutingTable>,
-                             KeyHash>
-      entries_;
+  mutable std::size_t byte_limit_;
+  mutable std::unordered_map<Key, Entry, KeyHash> entries_;
+  mutable std::list<Key> lru_;  // most recently used first
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  mutable std::uint64_t evictions_ = 0;
   mutable std::size_t bytes_ = 0;
 };
 

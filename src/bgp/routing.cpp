@@ -1,14 +1,13 @@
 #include "bgp/routing.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <bitset>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <mutex>
 
 #include "bgp/catchment_resolver.hpp"
+#include "bgp/routing_engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/rng.hpp"
@@ -16,287 +15,7 @@
 namespace vp::bgp {
 
 using topology::AsNode;
-using topology::Link;
-using topology::Relationship;
 using topology::Topology;
-
-namespace {
-
-constexpr std::uint8_t kMaxPathLen = 250;
-constexpr std::size_t kMaxCandidates = 12;  // tied-route retention cap
-
-/// BGP decision order: relationship class (local-pref), then per-link
-/// policy bonus (higher wins — local-pref beats path length, as in real
-/// BGP), then AS-path length. Returns <0 if a better, 0 tied, >0 worse.
-int compare_route(const CandidateRoute& a, const CandidateRoute& b) {
-  if (a.cls != b.cls) return static_cast<int>(a.cls) - static_cast<int>(b.cls);
-  if (a.local_pref_bonus != b.local_pref_bonus)
-    return b.local_pref_bonus - a.local_pref_bonus;
-  return static_cast<int>(a.path_len) - static_cast<int>(b.path_len);
-}
-
-/// Propagation engine state.
-class Propagation {
- public:
-  Propagation(const Topology& topo, const anycast::Deployment& deployment,
-              const RoutingOptions& options)
-      : topo_(topo),
-        deployment_(deployment),
-        options_(options),
-        states_(topo.as_count()) {}
-
-  std::vector<AsRoutingState> run() {
-    inject_origin_routes();
-    propagate_up();
-    propagate_peers();
-    propagate_down();
-    for (auto& state : states_) pick_canonical(state);
-    return std::move(states_);
-  }
-
- private:
-  std::uint64_t tiebreak(AsId receiver, AsId sender, SiteId site) const {
-    // Salted so a different epoch (salt) re-rolls which tied candidate an
-    // AS canonically prefers — the §5.5 routing shift.
-    return util::hash_combine(
-        options_.tiebreak_salt,
-        util::hash_combine(
-            util::hash_combine(topo_.as_at(receiver).asn.value,
-                               topo_.as_at(sender).asn.value),
-            static_cast<std::uint64_t>(site) + 1));
-  }
-
-  /// Offers a candidate to `receiver`; returns true if the receiver's best
-  /// (class, length) improved (not merely tied).
-  bool offer(AsId receiver, CandidateRoute cand) {
-    auto& state = states_[receiver];
-    if (state.candidates.empty()) {
-      state.candidates.push_back(cand);
-      return true;
-    }
-    const auto& best = state.candidates.front();
-    const int cmp = compare_route(cand, best);
-    if (cmp < 0) {
-      state.candidates.clear();
-      state.candidates.push_back(cand);
-      return true;
-    }
-    if (cmp == 0 && state.candidates.size() < kMaxCandidates) {
-      // Drop exact duplicates (same neighbor offering the same site).
-      for (const auto& existing : state.candidates) {
-        if (existing.egress_neighbor == cand.egress_neighbor &&
-            existing.site == cand.site) {
-          return false;
-        }
-      }
-      state.candidates.push_back(cand);
-    }
-    return false;
-  }
-
-  void pick_canonical(AsRoutingState& state) const {
-    std::uint32_t best_index = 0;
-    for (std::uint32_t i = 1; i < state.candidates.size(); ++i) {
-      if (state.candidates[i].tiebreak <
-          state.candidates[best_index].tiebreak) {
-        best_index = i;
-      }
-    }
-    state.canonical = best_index;
-  }
-
-  /// The origin AS announces the prefix to each enabled site's upstream.
-  /// The upstream hears a customer route whose AS path already contains
-  /// the origin (1 hop) plus any prepending configured at that site.
-  void inject_origin_routes() {
-    for (std::size_t s = 0; s < deployment_.sites.size(); ++s) {
-      const auto& site = deployment_.sites[s];
-      if (!site.enabled || site.hidden) continue;
-      const AsId upstream = topo_.find_as(site.upstream);
-      assert(upstream != topology::kNoAs &&
-             "deployment upstream AS missing from topology");
-      const AsNode& node = topo_.as_at(upstream);
-      // Attach the site at the upstream's PoP nearest the site location.
-      std::uint16_t pop = 0;
-      double best = std::numeric_limits<double>::max();
-      for (std::size_t p = 0; p < node.pops.size(); ++p) {
-        const double d =
-            geo::distance_km(node.pops[p].location, site.location);
-        if (d < best) {
-          best = d;
-          pop = static_cast<std::uint16_t>(p);
-        }
-      }
-      CandidateRoute cand;
-      cand.site = static_cast<SiteId>(s);
-      cand.path_len = static_cast<std::uint8_t>(1 + site.prepend);
-      cand.cls = RouteClass::kCustomer;
-      cand.egress_neighbor = topology::kNoAs;  // directly attached service
-      cand.egress_pop = pop;
-      cand.tiebreak = tiebreak(upstream, upstream, cand.site);
-      offer(upstream, cand);
-    }
-  }
-
-  /// Sends `sender`'s route to one neighbor as class `cls`. What a real
-  /// multi-PoP network advertises at an interconnect is the route *its
-  /// routers at that PoP* selected (hot-potato), so among equal-best
-  /// candidates we pick the one whose egress is nearest the sender-side
-  /// attachment PoP of this link. This is how catchment diversity at tied
-  /// transits propagates into their customer cones (§6.2).
-  /// Returns whether the receiver's best improved.
-  bool advertise(AsId sender, const Link& link, RouteClass cls) {
-    const auto& state = states_[sender];
-    if (!state.reachable()) return false;
-    const AsNode& sender_node = topo_.as_at(sender);
-    const geo::LatLon here = sender_node.pops[link.local_pop].location;
-    const CandidateRoute* chosen = nullptr;
-    double best_distance = std::numeric_limits<double>::max();
-    std::uint32_t tied_count = 0;
-    for (const CandidateRoute& candidate : state.candidates) {
-      if (compare_route(candidate, state.candidates.front()) != 0) continue;
-      ++tied_count;
-      const double d = geo::distance_km(
-          here, sender_node.pops[candidate.egress_pop].location);
-      const bool closer =
-          d < best_distance - 1e-9 ||
-          (std::abs(d - best_distance) <= 1e-9 && chosen != nullptr &&
-           candidate.tiebreak < chosen->tiebreak);
-      if (chosen == nullptr || closer) {
-        chosen = &candidate;
-        best_distance = d;
-      }
-    }
-    // Epoch jitter: a small fraction of tied decisions deviates from
-    // hot-potato this epoch (IGP re-weighting, maintenance, TE). This is
-    // what shifts whole customer cones between measurement dates (§5.5).
-    if (tied_count > 1) {
-      const std::uint64_t jitter = util::hash_combine(
-          options_.tiebreak_salt,
-          util::hash_combine(topo_.as_at(sender).asn.value,
-                             topo_.as_at(link.neighbor).asn.value));
-      if (static_cast<double>(jitter >> 11) * 0x1.0p-53 <
-          options_.epoch_jitter_rate) {
-        std::uint32_t pick = static_cast<std::uint32_t>(
-            util::mix64(jitter) % tied_count);
-        for (const CandidateRoute& candidate : state.candidates) {
-          if (compare_route(candidate, state.candidates.front()) != 0)
-            continue;
-          if (pick-- == 0) {
-            chosen = &candidate;
-            break;
-          }
-        }
-      }
-    }
-    CandidateRoute cand;
-    cand.site = chosen->site;
-    cand.path_len = static_cast<std::uint8_t>(
-        std::min<int>(chosen->path_len + 1, kMaxPathLen));
-    cand.cls = cls;
-    // The receiver's policy bonus for routes learned over this link,
-    // mirrored onto the sender's directed link by the topology builder so
-    // advertising is O(1) instead of O(degree(receiver)).
-    cand.local_pref_bonus = link.reverse_local_pref_bonus;
-    cand.egress_neighbor = sender;
-    cand.egress_pop = link.remote_pop;  // receiver-local PoP of this link
-    cand.tiebreak = tiebreak(link.neighbor, sender, cand.site);
-    return offer(link.neighbor, cand);
-  }
-
-  /// Stage 1: customer routes climb provider edges, BFS by path length so
-  /// all equal-length ties are collected before an AS advertises.
-  void propagate_up() {
-    std::vector<std::vector<AsId>> frontier(kMaxPathLen + 2);
-    std::vector<bool> advertised(topo_.as_count(), false);
-    for (AsId as = 0; as < topo_.as_count(); ++as) {
-      if (states_[as].reachable())
-        frontier[states_[as].best().path_len].push_back(as);
-    }
-    for (std::uint8_t len = 0; len <= kMaxPathLen; ++len) {
-      for (std::size_t i = 0; i < frontier[len].size(); ++i) {
-        const AsId as = frontier[len][i];
-        if (advertised[as]) continue;
-        const auto& state = states_[as];
-        if (!state.reachable() ||
-            state.candidates.front().cls != RouteClass::kCustomer ||
-            state.candidates.front().path_len != len) {
-          continue;  // superseded or not a customer route
-        }
-        advertised[as] = true;
-        for (const Link& link : topo_.as_at(as).links) {
-          if (link.rel != Relationship::kProvider) continue;  // only up
-          if (advertise(as, link, RouteClass::kCustomer)) {
-            frontier[std::min<std::size_t>(len + 1, kMaxPathLen + 1)]
-                .push_back(link.neighbor);
-          } else if (!advertised[link.neighbor]) {
-            // A tie was possibly added; ensure the neighbor is queued.
-            const auto& ns = states_[link.neighbor];
-            if (ns.reachable() &&
-                ns.candidates.front().cls == RouteClass::kCustomer) {
-              frontier[ns.candidates.front().path_len].push_back(
-                  link.neighbor);
-            }
-          }
-        }
-      }
-    }
-  }
-
-  /// Stage 2: every AS holding a customer route offers it to its peers.
-  /// Peer routes are not re-exported to other peers or providers.
-  void propagate_peers() {
-    std::vector<AsId> holders;
-    for (AsId as = 0; as < topo_.as_count(); ++as) {
-      const auto& state = states_[as];
-      if (state.reachable() &&
-          state.candidates.front().cls == RouteClass::kCustomer) {
-        holders.push_back(as);
-      }
-    }
-    for (const AsId as : holders) {
-      for (const Link& link : topo_.as_at(as).links) {
-        if (link.rel == Relationship::kPeer)
-          advertise(as, link, RouteClass::kPeer);
-      }
-    }
-  }
-
-  /// Stage 3: routes descend customer edges, BFS by resulting length.
-  void propagate_down() {
-    std::vector<std::vector<AsId>> frontier(
-        static_cast<std::size_t>(kMaxPathLen) + 2);
-    std::vector<bool> advertised(topo_.as_count(), false);
-    for (AsId as = 0; as < topo_.as_count(); ++as) {
-      if (states_[as].reachable())
-        frontier[states_[as].best().path_len].push_back(as);
-    }
-    for (std::size_t len = 0; len <= kMaxPathLen; ++len) {
-      for (std::size_t i = 0; i < frontier[len].size(); ++i) {
-        const AsId as = frontier[len][i];
-        if (advertised[as]) continue;
-        const auto& state = states_[as];
-        if (!state.reachable() || state.candidates.front().path_len != len)
-          continue;  // superseded by a shorter route; re-queued elsewhere
-        advertised[as] = true;
-        for (const Link& link : topo_.as_at(as).links) {
-          if (link.rel != Relationship::kCustomer) continue;  // only down
-          if (advertise(as, link, RouteClass::kProvider)) {
-            frontier[std::min<std::size_t>(len + 1, kMaxPathLen + 1)]
-                .push_back(link.neighbor);
-          }
-        }
-      }
-    }
-  }
-
-  const Topology& topo_;
-  const anycast::Deployment& deployment_;
-  RoutingOptions options_;
-  std::vector<AsRoutingState> states_;
-};
-
-}  // namespace
 
 bool AsRoutingState::multi_site() const {
   if (candidates.size() < 2) return false;
@@ -315,49 +34,124 @@ struct RoutingTable::ResolverSlot {
   std::unique_ptr<const CatchmentResolver> resolver;
 };
 
+namespace {
+
+/// Non-owning deployment handle for the legacy one-shot constructor:
+/// the caller keeps the deployment alive, exactly as before tables
+/// could own their configuration.
+std::shared_ptr<const anycast::Deployment> borrow(
+    const anycast::Deployment& deployment) {
+  return {std::shared_ptr<const anycast::Deployment>{}, &deployment};
+}
+
+std::vector<std::shared_ptr<const AsRoutingState>> share_states(
+    std::vector<AsRoutingState> states) {
+  std::vector<std::shared_ptr<const AsRoutingState>> shared;
+  shared.reserve(states.size());
+  for (AsRoutingState& state : states)
+    shared.push_back(
+        std::make_shared<const AsRoutingState>(std::move(state)));
+  return shared;
+}
+
+std::shared_ptr<const std::vector<std::uint32_t>> build_pop_offsets(
+    const Topology& topo) {
+  auto offsets = std::make_shared<std::vector<std::uint32_t>>();
+  offsets->resize(topo.as_count() + 1, 0);
+  for (AsId as = 0; as < topo.as_count(); ++as) {
+    (*offsets)[as + 1] =
+        (*offsets)[as] +
+        static_cast<std::uint32_t>(topo.as_at(as).pops.size());
+  }
+  return offsets;
+}
+
+}  // namespace
+
+/// Hot-potato: each PoP selects, among the tied candidates, the one whose
+/// egress attachment is geographically closest (§6.2 — "routing policies
+/// like hot-potato routing are a likely cause for these divisions").
+void RoutingTable::resolve_pop_sites(AsId as) {
+  const AsRoutingState& state = *states_[as];
+  const AsNode& node = topo_->as_at(as);
+  const std::uint32_t base = (*pop_offsets_)[as];
+  if (!state.reachable()) {
+    for (std::size_t p = 0; p < node.pops.size(); ++p)
+      pop_sites_[base + p] = anycast::kUnknownSite;
+    return;
+  }
+  for (std::size_t p = 0; p < node.pops.size(); ++p) {
+    const CandidateRoute* chosen = &state.best();
+    if (state.candidates.size() > 1) {
+      double best_distance = std::numeric_limits<double>::max();
+      std::uint64_t best_tiebreak = 0;
+      for (const CandidateRoute& cand : state.candidates) {
+        const double d = geo::distance_km(
+            node.pops[p].location, node.pops[cand.egress_pop].location);
+        if (d < best_distance - 1e-9 ||
+            (std::abs(d - best_distance) <= 1e-9 &&
+             cand.tiebreak < best_tiebreak)) {
+          best_distance = d;
+          best_tiebreak = cand.tiebreak;
+          chosen = &cand;
+        }
+      }
+    }
+    pop_sites_[base + p] = chosen->site;
+  }
+}
+
 RoutingTable::RoutingTable(const Topology& topo,
                            const anycast::Deployment& deployment,
                            std::vector<AsRoutingState> states,
                            std::uint64_t epoch_salt)
+    : RoutingTable(topo, borrow(deployment), share_states(std::move(states)),
+                   epoch_salt, nullptr, {}) {}
+
+RoutingTable::RoutingTable(
+    const Topology& topo,
+    std::shared_ptr<const anycast::Deployment> deployment,
+    std::vector<std::shared_ptr<const AsRoutingState>> states,
+    std::uint64_t epoch_salt, std::shared_ptr<const RoutingTable> parent,
+    std::vector<AsId> changed_ases)
     : topo_(&topo),
-      deployment_(&deployment),
+      deployment_(std::move(deployment)),
       epoch_salt_(epoch_salt),
       states_(std::move(states)),
+      parent_(parent),
+      changed_ases_(std::move(changed_ases)),
       resolver_slot_(std::make_shared<ResolverSlot>()) {
-  // Hot-potato: each PoP selects, among the tied candidates, the one whose
-  // egress attachment is geographically closest (§6.2 — "routing policies
-  // like hot-potato routing are a likely cause for these divisions").
-  pop_offsets_.resize(topo.as_count() + 1, 0);
-  for (AsId as = 0; as < topo.as_count(); ++as) {
-    pop_offsets_[as + 1] =
-        pop_offsets_[as] +
-        static_cast<std::uint32_t>(topo.as_at(as).pops.size());
+  if (parent != nullptr) {
+    // Incremental: reuse the parent's hot-potato resolution everywhere
+    // the final route is unchanged; recompute only the changed ASes.
+    pop_offsets_ = parent->pop_offsets_;
+    pop_sites_ = parent->pop_sites_;
+    for (const AsId as : changed_ases_) resolve_pop_sites(as);
+  } else {
+    pop_offsets_ = build_pop_offsets(topo);
+    pop_sites_.assign(pop_offsets_->back(), anycast::kUnknownSite);
+    for (AsId as = 0; as < topo.as_count(); ++as) resolve_pop_sites(as);
   }
-  pop_sites_.assign(pop_offsets_.back(), anycast::kUnknownSite);
-  for (AsId as = 0; as < topo.as_count(); ++as) {
-    const AsRoutingState& state = states_[as];
-    if (!state.reachable()) continue;
+  // Blocks owned by changed ASes, as merged sorted ranges into
+  // topo.blocks() — the invalidation unit for warm CatchmentResolver
+  // rebuilds.
+  changed_block_ranges_.reserve(changed_ases_.size());
+  for (const AsId as : changed_ases_) {
     const AsNode& node = topo.as_at(as);
-    for (std::size_t p = 0; p < node.pops.size(); ++p) {
-      const CandidateRoute* chosen = &state.best();
-      if (state.candidates.size() > 1) {
-        double best_distance = std::numeric_limits<double>::max();
-        std::uint64_t best_tiebreak = 0;
-        for (const CandidateRoute& cand : state.candidates) {
-          const double d = geo::distance_km(
-              node.pops[p].location, node.pops[cand.egress_pop].location);
-          if (d < best_distance - 1e-9 ||
-              (std::abs(d - best_distance) <= 1e-9 &&
-               cand.tiebreak < best_tiebreak)) {
-            best_distance = d;
-            best_tiebreak = cand.tiebreak;
-            chosen = &cand;
-          }
-        }
-      }
-      pop_sites_[pop_offsets_[as] + p] = chosen->site;
-    }
+    if (node.block_count == 0) continue;
+    changed_block_ranges_.emplace_back(node.first_block,
+                                       node.first_block + node.block_count);
   }
+  std::sort(changed_block_ranges_.begin(), changed_block_ranges_.end());
+  std::size_t merged = 0;
+  for (const BlockRange& range : changed_block_ranges_) {
+    if (merged > 0 && changed_block_ranges_[merged - 1].second >= range.first)
+      changed_block_ranges_[merged - 1].second =
+          std::max(changed_block_ranges_[merged - 1].second, range.second);
+    else
+      changed_block_ranges_[merged++] = range;
+  }
+  changed_block_ranges_.resize(merged);
 }
 
 SiteId RoutingTable::site_for_block(net::Block24 block) const {
@@ -368,7 +162,7 @@ SiteId RoutingTable::site_for_block(net::Block24 block) const {
 
 SiteId RoutingTable::site_for_block(const topology::BlockInfo& info) const {
   const AsNode& node = topo_->as_at(info.as_id);
-  const AsRoutingState& state = states_[info.as_id];
+  const AsRoutingState& state = *states_[info.as_id];
   if (node.multipath && state.multi_site()) {
     // Flow-hash load balancing: each block stably picks one of the tied
     // routes. Stable across rounds (same hash), so this creates lasting
@@ -392,8 +186,8 @@ std::size_t RoutingTable::distinct_sites(AsId as) const {
     const SiteId site = site_for_pop(as, static_cast<std::uint16_t>(p));
     if (site >= 0) seen.set(static_cast<std::size_t>(site));
   }
-  if (node.multipath && states_[as].multi_site()) {
-    for (const CandidateRoute& cand : states_[as].candidates)
+  if (node.multipath && states_[as]->multi_site()) {
+    for (const CandidateRoute& cand : states_[as]->candidates)
       if (cand.site >= 0) seen.set(static_cast<std::size_t>(cand.site));
   }
   return seen.count();
@@ -416,12 +210,16 @@ const CatchmentResolver* RoutingTable::catchment_resolver() const {
 }
 
 std::size_t RoutingTable::memory_bytes() const {
-  std::size_t bytes = sizeof(*this) +
-                      pop_offsets_.capacity() * sizeof(std::uint32_t) +
-                      pop_sites_.capacity() * sizeof(SiteId) +
-                      states_.capacity() * sizeof(AsRoutingState);
-  for (const AsRoutingState& state : states_)
-    bytes += state.candidates.capacity() * sizeof(CandidateRoute);
+  std::size_t bytes =
+      sizeof(*this) + pop_sites_.capacity() * sizeof(SiteId) +
+      pop_offsets_->capacity() * sizeof(std::uint32_t) +
+      states_.capacity() * sizeof(states_[0]) +
+      changed_ases_.capacity() * sizeof(AsId) +
+      changed_block_ranges_.capacity() * sizeof(BlockRange);
+  for (const auto& state : states_) {
+    bytes += sizeof(AsRoutingState) +
+             state->candidates.capacity() * sizeof(CandidateRoute);
+  }
   if (resolver_slot_->resolver) bytes += resolver_slot_->resolver->bytes();
   return bytes;
 }
@@ -433,8 +231,8 @@ RoutingTable compute_routes(const Topology& topo,
   registry.counter("vp_bgp_route_computations_total").add();
   obs::Span span{&registry.histogram("vp_bgp_compute_routes_ms",
                                      obs::latency_buckets_ms())};
-  Propagation propagation(topo, deployment, options);
-  return RoutingTable{topo, deployment, propagation.run(),
+  return RoutingTable{topo, deployment,
+                      detail::compute_states(topo, deployment, options),
                       options.tiebreak_salt};
 }
 

@@ -17,12 +17,19 @@
 //  * Equal-best candidates are retained per AS; multi-PoP ASes resolve
 //    them per-PoP by hot-potato (nearest egress), producing the intra-AS
 //    catchment divisions of §6.2.
+//
+// Computation lives in bgp::RoutingEngine (bgp/routing_engine.hpp): a
+// session object that produces immutable, structurally shared
+// RoutingTables and supports incremental recomputation of configuration
+// deltas. The free function compute_routes survives as a deprecated
+// one-shot wrapper.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "anycast/deployment.hpp"
@@ -53,10 +60,14 @@ struct CandidateRoute {
   AsId egress_neighbor = topology::kNoAs;
   std::uint16_t egress_pop = 0;  // local PoP where the route was learned
   std::uint64_t tiebreak = 0;    // deterministic; lowest wins
+
+  bool operator==(const CandidateRoute&) const = default;
 };
 
 /// Routing state of one AS: all equal-best candidates plus the canonical
-/// (advertised) choice among them.
+/// (advertised) choice among them. Candidates are kept in canonical
+/// order (ascending tiebreak), so the same inputs yield the same bytes
+/// whether the state was computed from scratch or by delta propagation.
 struct AsRoutingState {
   std::vector<CandidateRoute> candidates;
   std::uint32_t canonical = 0;  // index into candidates
@@ -82,22 +93,52 @@ struct RoutingOptions {
   double epoch_jitter_rate = 0.25;
 };
 
+/// A [begin, end) index range into Topology::blocks() whose site answers
+/// may differ between a table and its parent.
+using BlockRange = std::pair<std::uint32_t, std::uint32_t>;
+
 /// The computed routing outcome for one deployment.
+///
+/// Tables are immutable. Tables produced by a RoutingEngine share the
+/// unchanged per-AS states with their predecessor (`&a.state(as) ==
+/// &b.state(as)` for every AS whose routes did not change) and record
+/// delta provenance: the predecessor (`parent()`), the ASes whose final
+/// route changed, and the affected block ranges — what CatchmentResolver
+/// uses to rebuild only the invalidated slice of its block->site table.
 class RoutingTable {
  public:
+  /// Legacy one-shot construction from plain per-AS states. The
+  /// deployment is borrowed (caller keeps it alive); no provenance.
   RoutingTable(const topology::Topology& topo,
                const anycast::Deployment& deployment,
                std::vector<AsRoutingState> states,
                std::uint64_t epoch_salt = 0);
 
+  /// Engine construction: shared per-AS states, owned deployment, and
+  /// (for delta-produced tables) the parent plus the changed-AS set.
+  /// Hot-potato PoP resolution is copied from the parent and recomputed
+  /// only for the changed ASes.
+  RoutingTable(const topology::Topology& topo,
+               std::shared_ptr<const anycast::Deployment> deployment,
+               std::vector<std::shared_ptr<const AsRoutingState>> states,
+               std::uint64_t epoch_salt,
+               std::shared_ptr<const RoutingTable> parent,
+               std::vector<AsId> changed_ases);
+
   const topology::Topology& topology() const { return *topo_; }
   const anycast::Deployment& deployment() const { return *deployment_; }
 
-  const AsRoutingState& state(AsId as) const { return states_[as]; }
+  const AsRoutingState& state(AsId as) const { return *states_[as]; }
+
+  /// The shared state object itself — lets tests assert structural
+  /// sharing between a delta table and its parent.
+  const std::shared_ptr<const AsRoutingState>& shared_state(AsId as) const {
+    return states_[as];
+  }
 
   /// Hot-potato-resolved site for a specific PoP of an AS.
   SiteId site_for_pop(AsId as, std::uint16_t pop) const {
-    return pop_sites_[pop_offsets_[as] + pop];
+    return pop_sites_[(*pop_offsets_)[as] + pop];
   }
 
   /// Site for a /24 block (via its owning AS + PoP); kUnknownSite if the
@@ -111,6 +152,24 @@ class RoutingTable {
 
   /// Number of distinct sites chosen across an AS's PoPs and tied routes.
   std::size_t distinct_sites(AsId as) const;
+
+  /// Delta provenance: the table this one was derived from by a
+  /// RoutingEngine::apply, if it is still alive; nullptr for tables
+  /// computed from scratch (or whose parent has been dropped).
+  std::shared_ptr<const RoutingTable> parent() const {
+    return parent_.lock();
+  }
+
+  /// ASes whose final route differs from parent(); empty for scratch
+  /// tables. Sorted ascending.
+  std::span<const AsId> changed_ases() const { return changed_ases_; }
+
+  /// Merged, sorted [begin, end) ranges into topology().blocks() owned
+  /// by the changed ASes — the slice of the block->site relation a
+  /// warm CatchmentResolver rebuild must recompute.
+  std::span<const BlockRange> changed_block_ranges() const {
+    return changed_block_ranges_;
+  }
 
   /// This table's lazily-built catchment resolver (block -> site table +
   /// flappy bitset, see bgp/catchment_resolver.hpp). The first caller
@@ -126,22 +185,30 @@ class RoutingTable {
   /// The resolver if one has been built; nullptr otherwise.
   const CatchmentResolver* catchment_resolver() const;
 
-  /// Approximate heap footprint (route-cache accounting).
+  /// Approximate heap footprint (route-cache accounting). Structurally
+  /// shared states are counted in full for every table holding them.
   std::size_t memory_bytes() const;
 
  private:
   struct ResolverSlot;  // once-flag + resolver; shared so moves are cheap
 
+  void resolve_pop_sites(AsId as);
+
   const topology::Topology* topo_;
-  const anycast::Deployment* deployment_;
+  std::shared_ptr<const anycast::Deployment> deployment_;
   std::uint64_t epoch_salt_ = 0;
-  std::vector<AsRoutingState> states_;
-  std::vector<std::uint32_t> pop_offsets_;  // per AS, into pop_sites_
+  std::vector<std::shared_ptr<const AsRoutingState>> states_;
+  std::shared_ptr<const std::vector<std::uint32_t>> pop_offsets_;
   std::vector<SiteId> pop_sites_;
+  std::weak_ptr<const RoutingTable> parent_;
+  std::vector<AsId> changed_ases_;
+  std::vector<BlockRange> changed_block_ranges_;
   std::shared_ptr<ResolverSlot> resolver_slot_;
 };
 
-/// Runs the three-stage valley-free propagation and hot-potato resolution.
+/// One-shot valley-free propagation and hot-potato resolution.
+[[deprecated(
+    "construct a bgp::RoutingEngine and call full() / apply() instead")]]
 RoutingTable compute_routes(const topology::Topology& topo,
                             const anycast::Deployment& deployment,
                             const RoutingOptions& options = {});

@@ -47,8 +47,7 @@ struct ProbeConfig {
   double retry_backoff_factor = 2.0;
 };
 
-/// Everything that defines one measurement round. Replaces the old
-/// positional run_round(routes, config, round, start) argument list.
+/// Everything that defines one measurement round.
 struct RoundSpec {
   ProbeConfig probe;
   /// Indexes the simulation's stochastic processes (responsiveness churn,

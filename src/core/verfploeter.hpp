@@ -15,14 +15,10 @@
 // are *discovered* from which collector received each reply, exactly as
 // the real system must.
 //
-// This class is now a thin facade over core/probe_engine.hpp (the sharded
-// round runner) and core/campaign.hpp (multi-round policy). New code
-// describes a round with a RoundSpec and calls run(); the positional
-// run_round()/campaign() surface remains as deprecated shims.
+// This class is a thin facade over core/probe_engine.hpp (the sharded
+// round runner); multi-round policy lives in core/campaign.hpp. A round
+// is described with a RoundSpec and run with run().
 #pragma once
-
-#include <cstdint>
-#include <vector>
 
 #include "bgp/routing.hpp"
 #include "core/probe_engine.hpp"
@@ -46,17 +42,6 @@ class Verfploeter {
 
   /// The underlying sharded engine (what Campaign drives directly).
   const ProbeEngine& engine() const { return engine_; }
-
-  [[deprecated("describe the round with a RoundSpec and call run()")]]
-  RoundResult run_round(const bgp::RoutingTable& routes,
-                        const ProbeConfig& config, std::uint32_t round,
-                        util::SimTime start = {}) const;
-
-  [[deprecated("use core::Campaign, which owns spacing and seeding")]]
-  std::vector<RoundResult> campaign(const bgp::RoutingTable& routes,
-                                    const ProbeConfig& base,
-                                    std::uint32_t rounds,
-                                    util::SimTime interval) const;
 
  private:
   ProbeEngine engine_;

@@ -62,9 +62,22 @@ const bgp::CatchmentResolver* FlipModel::resolver_for(
   if (!bgp::catchment_cache_enabled()) return nullptr;
   const std::uint64_t signature = flap_signature();
   return routes.catchment_resolver(signature, [&] {
-    return std::make_unique<const bgp::CatchmentResolver>(
-        routes, signature,
-        [&](const net::Block24& b) { return is_flappy(routes, b); });
+    const auto flappy = [&](const net::Block24& b) {
+      return is_flappy(routes, b);
+    };
+    // Delta-derived tables invalidate incrementally: if the parent table
+    // already built a resolver under the same flip signature, only the
+    // blocks of ASes whose route actually changed are recomputed.
+    if (const auto parent_table = routes.parent()) {
+      if (const bgp::CatchmentResolver* parent =
+              parent_table->catchment_resolver();
+          parent != nullptr && parent->flip_signature() == signature) {
+        return std::make_unique<const bgp::CatchmentResolver>(
+            routes, signature, flappy, *parent, routes.changed_block_ranges());
+      }
+    }
+    return std::make_unique<const bgp::CatchmentResolver>(routes, signature,
+                                                          flappy);
   });
 }
 

@@ -4,6 +4,7 @@
 
 #include "atlas/atlas.hpp"
 #include "bgp/routing.hpp"
+#include "bgp/routing_engine.hpp"
 #include "sim/internet.hpp"
 #include "topology/generator.hpp"
 
@@ -24,7 +25,7 @@ class AtlasTest : public ::testing::Test {
         new AtlasPlatform(*topo_, internet_->responsiveness(), atlas_config);
     deployment_ = new anycast::Deployment(anycast::make_broot(*topo_));
     routes_ = new bgp::RoutingTable(
-        bgp::compute_routes(*topo_, *deployment_));
+        *bgp::RoutingEngine{*topo_, *deployment_}.full());
   }
   static void TearDownTestSuite() {
     delete routes_;

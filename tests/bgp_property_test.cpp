@@ -6,6 +6,7 @@
 
 #include "anycast/deployment.hpp"
 #include "bgp/routing.hpp"
+#include "bgp/routing_engine.hpp"
 #include "topology/generator.hpp"
 
 namespace vp::bgp {
@@ -25,7 +26,7 @@ class RoutingInvariants : public ::testing::TestWithParam<SweepCase> {
     topo_ = topology::generate_topology(config);
     deployment_ = GetParam().tangled ? anycast::make_tangled(topo_)
                                      : anycast::make_broot(topo_);
-    routes_.emplace(compute_routes(topo_, deployment_));
+    routes_.emplace(*RoutingEngine{topo_, deployment_}.full());
   }
 
   topology::Topology topo_;

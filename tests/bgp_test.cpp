@@ -2,11 +2,20 @@
 
 #include "anycast/deployment.hpp"
 #include "bgp/routing.hpp"
+#include "bgp/routing_engine.hpp"
 #include "topology/generator.hpp"
 #include "topology/topology.hpp"
 
 namespace vp::bgp {
 namespace {
+
+/// One-shot engine session; the table copy keeps the engine-owned
+/// deployment alive through its shared_ptr members.
+RoutingTable route(const topology::Topology& topo,
+                   const anycast::Deployment& deployment,
+                   const RoutingOptions& options = {}) {
+  return *RoutingEngine{topo, deployment, options}.full();
+}
 
 using topology::AsId;
 using topology::AsNumber;
@@ -88,7 +97,7 @@ struct MiniInternet {
 
 TEST(Routing, OriginUpstreamsGetDirectRoutes) {
   MiniInternet net;
-  const RoutingTable routes = compute_routes(net.topo, net.deployment);
+  const RoutingTable routes = route(net.topo, net.deployment);
   EXPECT_EQ(routes.state(net.a).best().site, 0);
   EXPECT_EQ(routes.state(net.a).best().path_len, 1);
   EXPECT_EQ(routes.state(net.a).best().cls, RouteClass::kCustomer);
@@ -97,11 +106,11 @@ TEST(Routing, OriginUpstreamsGetDirectRoutes) {
 
 TEST(Routing, CustomerRouteBeatsShorterPeerRoute) {
   MiniInternet net;
-  const RoutingTable routes = compute_routes(net.topo, net.deployment);
+  const RoutingTable routes = route(net.topo, net.deployment);
   // T1 hears LAX from its customer A (len 2) and MIA from peer T2 (len 3);
   // even with LAX prepended +3 the customer route must win.
   auto prepended = net.deployment.with_prepend("LAX", 3);
-  const RoutingTable routes2 = compute_routes(net.topo, prepended);
+  const RoutingTable routes2 = route(net.topo, prepended);
   EXPECT_EQ(routes.state(net.t1).best().site, 0);
   EXPECT_EQ(routes2.state(net.t1).best().site, 0);
   EXPECT_EQ(routes2.state(net.t1).best().cls, RouteClass::kCustomer);
@@ -109,7 +118,7 @@ TEST(Routing, CustomerRouteBeatsShorterPeerRoute) {
 
 TEST(Routing, MultihomedCustomerTiesAcrossSites) {
   MiniInternet net;
-  const RoutingTable routes = compute_routes(net.topo, net.deployment);
+  const RoutingTable routes = route(net.topo, net.deployment);
   const AsRoutingState& state = routes.state(net.c);
   ASSERT_EQ(state.candidates.size(), 2u);
   EXPECT_TRUE(state.multi_site());
@@ -121,7 +130,7 @@ TEST(Routing, PrependingFlipsLengthSensitiveAses) {
   MiniInternet net;
   // +2 on LAX: C now sees LAX at len 5 vs MIA at len 3 -> MIA.
   auto prepended = net.deployment.with_prepend("LAX", 2);
-  const RoutingTable routes = compute_routes(net.topo, prepended);
+  const RoutingTable routes = route(net.topo, prepended);
   const AsRoutingState& state = routes.state(net.c);
   ASSERT_TRUE(state.reachable());
   EXPECT_EQ(state.candidates.size(), 1u);
@@ -132,7 +141,7 @@ TEST(Routing, PrependingFlipsLengthSensitiveAses) {
 
 TEST(Routing, PeerRoutesAreNotReExportedToPeers) {
   MiniInternet net;
-  const RoutingTable routes = compute_routes(net.topo, net.deployment);
+  const RoutingTable routes = route(net.topo, net.deployment);
   // T3 hears peer routes from T1/T2 (fine), but T4 — whose only neighbor
   // is peer T3 holding a peer-class route — must be unreachable.
   EXPECT_TRUE(routes.state(net.t3).reachable());
@@ -142,7 +151,7 @@ TEST(Routing, PeerRoutesAreNotReExportedToPeers) {
 
 TEST(Routing, StubInheritsProviderChoice) {
   MiniInternet net;
-  const RoutingTable routes = compute_routes(net.topo, net.deployment);
+  const RoutingTable routes = route(net.topo, net.deployment);
   const AsRoutingState& c_state = routes.state(net.c);
   const AsRoutingState& s_state = routes.state(net.s);
   ASSERT_TRUE(s_state.reachable());
@@ -152,7 +161,7 @@ TEST(Routing, StubInheritsProviderChoice) {
 
 TEST(Routing, HotPotatoSplitsMultiPopAs) {
   MiniInternet net;
-  const RoutingTable routes = compute_routes(net.topo, net.deployment);
+  const RoutingTable routes = route(net.topo, net.deployment);
   // D ties LAX (learned at its LA PoP) and MIA (at its Miami PoP):
   // each PoP exits through the nearest egress.
   ASSERT_TRUE(routes.state(net.d).multi_site());
@@ -165,7 +174,7 @@ TEST(Routing, HotPotatoSplitsMultiPopAs) {
 
 TEST(Routing, SiteForUnallocatedBlockIsUnknown) {
   MiniInternet net;
-  const RoutingTable routes = compute_routes(net.topo, net.deployment);
+  const RoutingTable routes = route(net.topo, net.deployment);
   EXPECT_EQ(routes.site_for_block(net::Block24{0x334455}),
             anycast::kUnknownSite);
 }
@@ -173,7 +182,7 @@ TEST(Routing, SiteForUnallocatedBlockIsUnknown) {
 TEST(Routing, HiddenSiteDoesNotAttractTraffic) {
   MiniInternet net;
   net.deployment.sites[1].hidden = true;  // hide MIA
-  const RoutingTable routes = compute_routes(net.topo, net.deployment);
+  const RoutingTable routes = route(net.topo, net.deployment);
   for (const AsId as : {net.a, net.t1, net.t2, net.c, net.s}) {
     ASSERT_TRUE(routes.state(as).reachable());
     EXPECT_EQ(routes.state(as).best().site, 0)
@@ -186,7 +195,7 @@ TEST(Routing, HiddenSiteDoesNotAttractTraffic) {
 TEST(Routing, DisabledSiteSameAsHidden) {
   MiniInternet net;
   net.deployment.sites[0].enabled = false;
-  const RoutingTable routes = compute_routes(net.topo, net.deployment);
+  const RoutingTable routes = route(net.topo, net.deployment);
   EXPECT_EQ(routes.state(net.s).best().site, 1);
 }
 
@@ -195,7 +204,7 @@ TEST(Routing, LocalPrefOverridesPathLength) {
   // C prefers routes learned from T1 regardless of prepending.
   net.topo.set_local_pref_bonus(net.c, net.t1, 1);
   auto prepended = net.deployment.with_prepend("LAX", 3);
-  const RoutingTable routes = compute_routes(net.topo, prepended);
+  const RoutingTable routes = route(net.topo, prepended);
   EXPECT_EQ(routes.state(net.c).best().site, 0)
       << "local-pref must beat the longer AS path";
 }
@@ -209,7 +218,7 @@ TEST(Routing, TiebreakSaltSelectsAmongEqualRoutes) {
     RoutingOptions options;
     options.tiebreak_salt = salt;
     const RoutingTable routes =
-        compute_routes(net.topo, net.deployment, options);
+        route(net.topo, net.deployment, options);
     const auto site = routes.state(net.c).best().site;
     saw_lax |= site == 0;
     saw_mia |= site == 1;
@@ -220,8 +229,8 @@ TEST(Routing, TiebreakSaltSelectsAmongEqualRoutes) {
 
 TEST(Routing, DeterministicForSameInputs) {
   MiniInternet net;
-  const RoutingTable r1 = compute_routes(net.topo, net.deployment);
-  const RoutingTable r2 = compute_routes(net.topo, net.deployment);
+  const RoutingTable r1 = route(net.topo, net.deployment);
+  const RoutingTable r2 = route(net.topo, net.deployment);
   for (AsId as = 0; as < net.topo.as_count(); ++as) {
     ASSERT_EQ(r1.state(as).reachable(), r2.state(as).reachable());
     if (r1.state(as).reachable()) {
@@ -240,7 +249,7 @@ class GeneratedRoutingTest : public ::testing::Test {
     config.target_blocks = 10'000;
     topo_ = new Topology(topology::generate_topology(config));
     deployment_ = new anycast::Deployment(anycast::make_broot(*topo_));
-    routes_ = new RoutingTable(compute_routes(*topo_, *deployment_));
+    routes_ = new RoutingTable(route(*topo_, *deployment_));
   }
   static void TearDownTestSuite() {
     delete routes_;

@@ -172,21 +172,5 @@ TEST_F(ProbeEngineTest, ObserverSeesConsistentCounts) {
   EXPECT_EQ(observer.kept, result.map.cleaning.kept);
 }
 
-TEST_F(ProbeEngineTest, DeprecatedShimMatchesNewSurface) {
-  ProbeConfig probe;
-  probe.measurement_id = 4600;
-  RoundSpec spec;
-  spec.probe = probe;
-  spec.round = 5;
-  spec.start = util::SimTime::from_minutes(75);
-  const RoundResult via_spec = scenario().verfploeter().run(routes(), spec);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const RoundResult via_shim = scenario().verfploeter().run_round(
-      routes(), probe, 5, util::SimTime::from_minutes(75));
-#pragma GCC diagnostic pop
-  expect_identical(via_spec, via_shim, "run_round shim");
-}
-
 }  // namespace
 }  // namespace vp::core

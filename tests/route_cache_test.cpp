@@ -17,6 +17,7 @@
 #include "analysis/scenario.hpp"
 #include "bgp/catchment_resolver.hpp"
 #include "bgp/route_cache.hpp"
+#include "bgp/routing_engine.hpp"
 #include "core/dataset_io.hpp"
 #include "core/verfploeter.hpp"
 #include "sim/fault_injector.hpp"
@@ -176,8 +177,9 @@ class CampaignEquivalence : public ::testing::Test {
       bgp::RoutingOptions options;
       options.tiebreak_salt =
           util::hash_combine(scenario_->config().seed, analysis::kMayEpoch);
-      fresh.emplace(bgp::compute_routes(scenario_->topo(), scenario_->broot(),
-                                        options));
+      fresh.emplace(
+          *bgp::RoutingEngine{scenario_->topo(), scenario_->broot(), options}
+               .full());
       routes = &*fresh;
     }
     core::RoundSpec spec;

@@ -2,6 +2,7 @@
 
 #include "anycast/deployment.hpp"
 #include "bgp/routing.hpp"
+#include "bgp/routing_engine.hpp"
 #include "sim/flips.hpp"
 #include "sim/internet.hpp"
 #include "sim/responsiveness.hpp"
@@ -19,7 +20,7 @@ class SimTest : public ::testing::Test {
     topo_ = new topology::Topology(topology::generate_topology(config));
     deployment_ = new anycast::Deployment(anycast::make_broot(*topo_));
     routes_ = new bgp::RoutingTable(
-        bgp::compute_routes(*topo_, *deployment_));
+        *bgp::RoutingEngine{*topo_, *deployment_}.full());
     internet_ = new InternetSim(*topo_, InternetConfig{});
   }
   static void TearDownTestSuite() {

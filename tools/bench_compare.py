@@ -29,6 +29,11 @@ names a slow and a fast benchmark from the same run; the job fails when
 slow/fast drops below min_ratio. Ratios within one run are immune to
 runner-speed differences, so these gates are much tighter than the
 absolute-time band. --update preserves the section verbatim.
+
+"delta_gates" works the same way for incremental routing (DESIGN.md
+§13): each gate pins a minimum full-recompute vs delta-apply ratio from
+bench_delta_routing — e.g. a one-site prepend delta must stay >= 10x
+faster than rerouting from scratch. Also preserved verbatim by --update.
 """
 import argparse
 import json
@@ -136,9 +141,10 @@ def main():
         doc = {"context": args.context, "benchmarks": current}
         try:  # the speedup gates are hand-set; carry them through refreshes
             with open(args.baseline) as f:
-                gates = json.load(f).get("cache_gates")
-            if gates:
-                doc["cache_gates"] = gates
+                old = json.load(f)
+            for section in ("cache_gates", "delta_gates"):
+                if old.get(section):
+                    doc[section] = old[section]
         except (OSError, json.JSONDecodeError):
             pass
         with open(args.baseline, "w") as f:
@@ -171,6 +177,14 @@ def main():
               f"uncached (gate >= {need:g}x, same-run ratio)")
         if ratio < need:
             failures.append(f"{name} speedup {ratio:.1f}x < {need:g}x")
+
+    for name, ratio, need in cache_speedups(current,
+                                            doc.get("delta_gates", {})):
+        status = "ok" if ratio >= need else "FAIL"
+        print(f"{status:5} {name}: delta apply {ratio:.1f}x faster than "
+              f"full recompute (gate >= {need:g}x, same-run ratio)")
+        if ratio < need:
+            failures.append(f"{name} delta speedup {ratio:.1f}x < {need:g}x")
 
     print(f"\n{len(failures)} failure(s), {len(warnings)} warning(s), "
           f"{len(current)} benchmark(s) compared")
