@@ -13,9 +13,12 @@
 //   vpctl predict   [--catchment file.csv] [--date apr|may]
 //   vpctl recommend [--candidates N]
 //   vpctl export-load [--date apr|may] [--out load.csv]
+//   vpctl gen       [--gen-ases N] [--gen-blocks N] [--out topo.vpt]
+//                   [--load topo.vpt] [--probe]
 //
 // Global flags: --scale F (Internet size, default 0.4), --seed N,
 // --threads N (probe workers per round; 0 = all hardware threads).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,11 +37,15 @@
 #include "analysis/scenario.hpp"
 #include "analysis/stability.hpp"
 #include "anycast/deployment.hpp"
+#include "bgp/routing_engine.hpp"
 #include "core/campaign.hpp"
 #include "core/dataset_io.hpp"
 #include "sim/fault_injector.hpp"
+#include "topology/scale_generator.hpp"
+#include "topology/topo_io.hpp"
 #include "util/atomic_file.hpp"
 #include "util/format.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace vp;
@@ -67,7 +74,7 @@ struct Args {
 /// Flags that take no value.
 bool is_boolean_flag(std::string_view key) {
   return key == "resume" || key == "no-metrics" || key == "no-route-cache" ||
-         key == "delta-sweep";
+         key == "delta-sweep" || key == "probe";
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -111,6 +118,7 @@ int usage() {
       "  predict      predict per-site load from a catchment + query logs\n"
       "  recommend    suggest new site locations from measured RTTs\n"
       "  export-load  write the per-block query-log dataset as CSV\n"
+      "  gen          build an Internet with the sharded scale generator\n"
       "\n"
       "common options:\n"
       "  --scale F          Internet size multiplier (default 0.4 ~ 48k /24s)\n"
@@ -166,7 +174,21 @@ int usage() {
       "  --candidates N     how many suggestions (default 5)\n"
       "export-load options:\n"
       "  --date apr|may     dataset date (default may)\n"
-      "  --out FILE         output path (default load.csv)\n");
+      "  --out FILE         output path (default load.csv)\n"
+      "gen options:\n"
+      "  --gen-ases N       AS count (default 10000)\n"
+      "  --gen-blocks N     target /24 count (default 13 per AS)\n"
+      "  --gen-transits N   tier-1 clique size (default 16)\n"
+      "  --gen-shard N      ASes per shard (any value, same topology)\n"
+      "  --multihoming F    mean extra providers per stub (default 0.35)\n"
+      "  --peering F        regional lateral-peering chance (default 0.15)\n"
+      "  --gen-seed N       generator seed (default 42)\n"
+      "  --sites N          generated anycast sites for --probe (default 4)\n"
+      "  --out FILE         save the topology (binary, reload with --load)\n"
+      "  --load FILE        load a saved topology instead of generating\n"
+      "  --probe            run one Verfploeter round over the generated\n"
+      "                     Internet (generated deployment at the transit\n"
+      "                     core) and print the catchment split\n");
   return 2;
 }
 
@@ -584,6 +606,123 @@ int cmd_export_load(const Args& args) {
   return 0;
 }
 
+int cmd_gen(const Args& args) {
+  namespace chrono = std::chrono;
+  topology::Topology topo;
+  double gen_seconds = 0.0;
+  if (args.has("load")) {
+    const std::string path = args.get("load", "");
+    std::string error;
+    const auto t0 = chrono::steady_clock::now();
+    if (!topology::load_topology(path, topo, error)) {
+      std::fprintf(stderr, "error: cannot load %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    gen_seconds = chrono::duration<double>(chrono::steady_clock::now() - t0)
+                      .count();
+    std::printf("loaded %s (%.2fs)\n", path.c_str(), gen_seconds);
+  } else {
+    topology::ScaleConfig gen;
+    gen.seed = static_cast<std::uint64_t>(args.get_long("gen-seed", 42));
+    gen.as_count =
+        static_cast<std::uint32_t>(args.get_long("gen-ases", 10'000));
+    gen.target_blocks = static_cast<std::uint32_t>(args.get_long(
+        "gen-blocks", static_cast<long>(13L * gen.as_count)));
+    gen.transit_count =
+        static_cast<std::uint32_t>(args.get_long("gen-transits", 16));
+    if (args.has("gen-shard")) {
+      gen.shard_size =
+          static_cast<std::uint32_t>(args.get_long("gen-shard", 4096));
+    }
+    gen.multihoming_mean = args.get_double("multihoming", 0.35);
+    gen.peering_density = args.get_double("peering", 0.15);
+    gen.threads = static_cast<unsigned>(args.get_long("threads", 0));
+    std::printf("generating %s ASes / %s target blocks (seed %llu)...\n",
+                util::with_commas(gen.as_count).c_str(),
+                util::with_commas(gen.target_blocks).c_str(),
+                static_cast<unsigned long long>(gen.seed));
+    const auto t0 = chrono::steady_clock::now();
+    topo = topology::generate_scale_topology(gen);
+    gen_seconds = chrono::duration<double>(chrono::steady_clock::now() - t0)
+                      .count();
+  }
+
+  std::size_t tier_counts[3] = {0, 0, 0};
+  std::size_t link_records = 0;
+  for (topology::AsId v = 0; v < topo.as_count(); ++v) {
+    const topology::AsNode& node = topo.as_at(v);
+    tier_counts[static_cast<std::size_t>(node.tier)]++;
+    link_records += node.links.size();
+  }
+  util::Table table{{"", "count"}, {util::Align::kLeft}};
+  table.add_row({"transit ASes", util::with_commas(tier_counts[0])});
+  table.add_row({"regional ASes", util::with_commas(tier_counts[1])});
+  table.add_row({"stub ASes", util::with_commas(tier_counts[2])});
+  table.add_row({"links", util::with_commas(link_records / 2)});
+  table.add_row({"announced prefixes",
+                 util::with_commas(topo.announced_prefixes().size())});
+  table.add_row({"/24 blocks", util::with_commas(topo.block_count())});
+  table.add_row({"geolocated blocks", util::with_commas(topo.geodb().size())});
+  std::printf("%s", table.to_string().c_str());
+  if (gen_seconds > 0.0) {
+    std::printf("built in %.2fs (%s blocks/s)\n", gen_seconds,
+                util::si_count(static_cast<double>(topo.block_count()) /
+                               gen_seconds)
+                    .c_str());
+  }
+  std::printf("memory: %s bytes (%.1f bytes/block)\n",
+              util::with_commas(topo.memory_bytes()).c_str(),
+              static_cast<double>(topo.memory_bytes()) /
+                  static_cast<double>(std::max<std::size_t>(
+                      1, topo.block_count())));
+  std::printf("structural digest: %016llx\n",
+              static_cast<unsigned long long>(
+                  topology::structural_digest(topo)));
+
+  if (args.has("out")) {
+    const std::string path = args.get("out", "topology.vpt");
+    if (!topology::save_topology(topo, path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return kExitWriteFailed;
+    }
+    std::printf("topology written to %s\n", path.c_str());
+  }
+
+  if (args.has("probe")) {
+    const auto seed =
+        static_cast<std::uint64_t>(args.get_long("gen-seed", 42));
+    const auto deployment = anycast::make_generated(
+        topo, static_cast<std::size_t>(args.get_long("sites", 4)), seed);
+    if (deployment.sites.empty()) {
+      std::fprintf(stderr, "error: topology has no transit core to host "
+                           "anycast sites\n");
+      return 1;
+    }
+    std::printf("probing via %zu generated sites...\n",
+                deployment.sites.size());
+    sim::InternetConfig internet_config;
+    internet_config.responsiveness.seed = util::hash_combine(seed, 1);
+    internet_config.flips.seed = util::hash_combine(seed, 2);
+    const sim::InternetSim internet{topo, internet_config};
+    hitlist::HitlistConfig hitlist_config;
+    hitlist_config.seed = util::hash_combine(seed, 3);
+    const auto hitlist = hitlist::Hitlist::build(
+        topo, internet.responsiveness(), hitlist_config, probe_threads(args));
+    const core::Verfploeter verfploeter{internet, hitlist};
+    bgp::RoutingEngine engine{topo, deployment};
+    const auto routes = engine.full();
+    core::RoundSpec spec;
+    spec.probe.measurement_id = 9500;
+    apply_retry_args(spec.probe, args);
+    spec.threads = probe_threads(args);
+    ProgressObserver progress;
+    const auto round = verfploeter.run(*routes, spec, &progress);
+    print_catchment_summary(deployment, round);
+  }
+  return 0;
+}
+
 int dispatch(const Args& args) {
   if (args.command == "scan") return cmd_scan(args);
   if (args.command == "sweep") return cmd_sweep(args);
@@ -592,6 +731,7 @@ int dispatch(const Args& args) {
   if (args.command == "predict") return cmd_predict(args);
   if (args.command == "recommend") return cmd_recommend(args);
   if (args.command == "export-load") return cmd_export_load(args);
+  if (args.command == "gen") return cmd_gen(args);
   return usage();
 }
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "bgp/catchment_resolver.hpp"
+#include "topology/scale_generator.hpp"
 #include "util/rng.hpp"
 
 namespace vp::analysis {
@@ -22,15 +23,31 @@ ScenarioConfig ScenarioConfig::from_env() {
   if (const char* cap = std::getenv("VP_ROUTE_CACHE_BYTES")) {
     config.route_cache_bytes = std::strtoull(cap, nullptr, 10);
   }
+  if (const char* ases = std::getenv("VP_GEN_ASES")) {
+    config.generated_ases = static_cast<std::uint32_t>(
+        std::strtoull(ases, nullptr, 10));
+  }
   return config;
 }
 
 Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
-  topology::TopologyConfig topo_config =
-      topology::TopologyConfig::scaled(config.scale);
-  topo_config.seed = config.seed;
-  topo_ = std::make_unique<topology::Topology>(
-      topology::generate_topology(topo_config));
+  if (config.generated_ases > 0) {
+    // Scale-generator path: the full stack runs unchanged over a
+    // synthetic Internet of arbitrary size (VP_GEN_ASES).
+    topology::ScaleConfig gen;
+    gen.seed = config.seed;
+    gen.as_count = config.generated_ases;
+    gen.target_blocks = static_cast<std::uint64_t>(
+        std::max(2000.0, 13.0 * config.generated_ases * config.scale));
+    topo_ = std::make_unique<topology::Topology>(
+        topology::generate_scale_topology(gen));
+  } else {
+    topology::TopologyConfig topo_config =
+        topology::TopologyConfig::scaled(config.scale);
+    topo_config.seed = config.seed;
+    topo_ = std::make_unique<topology::Topology>(
+        topology::generate_topology(topo_config));
+  }
 
   sim::InternetConfig internet_config;
   internet_config.responsiveness.seed = util::hash_combine(config.seed, 1);
@@ -66,8 +83,17 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
       *topo_, config.route_cache, config.route_cache_bytes);
   bgp::set_catchment_cache_enabled(config.route_cache);
 
-  broot_ = anycast::make_broot(*topo_);
-  tangled_ = anycast::make_tangled(*topo_);
+  if (config.generated_ases > 0) {
+    // Same site counts as the paper's deployments (Table 3), hosted at
+    // the generated transit core instead of the hand-built upstreams.
+    broot_ = anycast::make_generated(*topo_, 2, config.seed);
+    tangled_ = anycast::make_generated(*topo_, 9,
+                                       util::hash_combine(config.seed, 9));
+    tangled_.name = "Generated-9";
+  } else {
+    broot_ = anycast::make_broot(*topo_);
+    tangled_ = anycast::make_tangled(*topo_);
+  }
 }
 
 std::shared_ptr<const bgp::RoutingTable> Scenario::route(

@@ -32,6 +32,12 @@ namespace vp::analysis {
 struct ScenarioConfig {
   std::uint64_t seed = 42;
   double scale = 1.0;  // multiplies the default 120k-block Internet
+  /// When non-zero, build the Internet with the sharded scale generator
+  /// (topology/scale_generator.hpp) at this many ASes instead of the
+  /// paper-shaped generator, with block count scaled by `scale`. The
+  /// B-Root/Tangled deployment slots are filled by generated 2- and
+  /// 9-site deployments hosted at the synthetic transit core.
+  std::uint32_t generated_ases = 0;
   /// Memoize route computation across deployment sweeps and precompute the
   /// per-table block->site catchment tables. Results are byte-identical
   /// either way (vpctl --no-route-cache / route_cache_test A/B).

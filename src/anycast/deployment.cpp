@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 
 #include "topology/generator.hpp"
 #include "util/rng.hpp"
@@ -180,6 +181,33 @@ Deployment make_tangled(const topology::Topology&) {
       AnycastSite{"CPH", topology::AsNumber{39839},
                   center_location("Copenhagen")},
   };
+  return d;
+}
+
+Deployment make_generated(const topology::Topology& topo,
+                          std::size_t site_count, std::uint64_t seed) {
+  Deployment d;
+  d.name = "Generated";
+  d.service_prefix = *net::Prefix::parse("192.0.2.0/24");
+  d.measurement_address = *net::Ipv4Address::parse("192.0.2.1");
+  d.origin_asn = topology::AsNumber{64500};  // private-use ASN
+  std::vector<topology::AsId> transits;
+  for (topology::AsId v = 0; v < topo.as_count(); ++v)
+    if (topo.as_at(v).tier == topology::AsTier::kTransit)
+      transits.push_back(v);
+  if (transits.empty()) return d;
+  // SiteId is int8 and distinct_sites() tracks at most 128 sites.
+  site_count = std::min<std::size_t>(site_count, 120);
+  d.sites.reserve(site_count);
+  for (std::size_t k = 0; k < site_count; ++k) {
+    const topology::AsNode& host =
+        topo.as_at(transits[k % transits.size()]);
+    const std::uint64_t h = util::mix64(util::hash_combine(seed, k));
+    const topology::Pop& pop = host.pops[h % host.pops.size()];
+    char code[8];
+    std::snprintf(code, sizeof(code), "S%02zu", k);
+    d.sites.push_back(AnycastSite{code, host.asn, pop.location});
+  }
   return d;
 }
 

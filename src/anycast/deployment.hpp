@@ -104,4 +104,13 @@ Deployment make_broot(const topology::Topology& topo);
 /// hidden (its announcement is masked by Miami's shared link).
 Deployment make_tangled(const topology::Topology& topo);
 
+/// A deployment for generated (scale) topologies: `site_count` sites
+/// hosted at transit ASes of `topo`, assigned round-robin over the
+/// transits in id order with deterministic per-site PoP choice from
+/// `seed`. Uses the TEST-NET-1 prefix 192.0.2.0/24 (disjoint from the
+/// generated address space, which grows up from 1.0.0.0) and a private
+/// origin ASN. Site codes are "S00", "S01", ...
+Deployment make_generated(const topology::Topology& topo,
+                          std::size_t site_count, std::uint64_t seed = 42);
+
 }  // namespace vp::anycast

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bitset>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <mutex>
@@ -58,10 +59,14 @@ std::shared_ptr<const std::vector<std::uint32_t>> build_pop_offsets(
     const Topology& topo) {
   auto offsets = std::make_shared<std::vector<std::uint32_t>>();
   offsets->resize(topo.as_count() + 1, 0);
+  std::uint64_t total = 0;
   for (AsId as = 0; as < topo.as_count(); ++as) {
-    (*offsets)[as + 1] =
-        (*offsets)[as] +
-        static_cast<std::uint32_t>(topo.as_at(as).pops.size());
+    total += topo.as_at(as).pops.size();
+    // Width audit: the flat pop-site table is uint32-indexed. Even 500k
+    // ASes at max PoP fan-out stay far below 2^32, but generated inputs
+    // are now arbitrary — fail loudly instead of wrapping.
+    assert(total <= 0xffffffffULL);
+    (*offsets)[as + 1] = static_cast<std::uint32_t>(total);
   }
   return offsets;
 }
@@ -101,6 +106,30 @@ void RoutingTable::resolve_pop_sites(AsId as) {
   }
 }
 
+/// Rebuilds the SoA row for one AS: flag byte (spray bit + tied count)
+/// and, for multipath multi-site ASes, the fixed-width spray row the
+/// flow-hash path reads instead of chasing the shared state pointer.
+void RoutingTable::index_spray(AsId as) {
+  const AsRoutingState& state = *states_[as];
+  std::uint8_t flags = 0;
+  if (topo_->as_at(as).multipath && state.multi_site()) {
+    // The engine's reduce step caps candidate sets at kMaxTiedRoutes;
+    // hand-built states must honor the same bound.
+    assert(state.candidates.size() <= kMaxTiedRoutes);
+    const auto count = static_cast<std::uint8_t>(
+        std::min(state.candidates.size(), kMaxTiedRoutes));
+    flags = static_cast<std::uint8_t>(kSprayFlag | (count << 4));
+    if (spray_sites_.empty()) {
+      spray_sites_.assign(states_.size() * kMaxTiedRoutes,
+                          anycast::kUnknownSite);
+    }
+    SiteId* row = &spray_sites_[as * kMaxTiedRoutes];
+    for (std::uint8_t k = 0; k < count; ++k)
+      row[k] = state.candidates[k].site;
+  }
+  as_flags_[as] = flags;
+}
+
 RoutingTable::RoutingTable(const Topology& topo,
                            const anycast::Deployment& deployment,
                            std::vector<AsRoutingState> states,
@@ -122,15 +151,25 @@ RoutingTable::RoutingTable(
       changed_ases_(std::move(changed_ases)),
       resolver_slot_(std::make_shared<ResolverSlot>()) {
   if (parent != nullptr) {
-    // Incremental: reuse the parent's hot-potato resolution everywhere
-    // the final route is unchanged; recompute only the changed ASes.
+    // Incremental: reuse the parent's hot-potato resolution and SoA rows
+    // everywhere the final route is unchanged; copy-and-patch only the
+    // changed ASes.
     pop_offsets_ = parent->pop_offsets_;
     pop_sites_ = parent->pop_sites_;
-    for (const AsId as : changed_ases_) resolve_pop_sites(as);
+    as_flags_ = parent->as_flags_;
+    spray_sites_ = parent->spray_sites_;
+    for (const AsId as : changed_ases_) {
+      resolve_pop_sites(as);
+      index_spray(as);
+    }
   } else {
     pop_offsets_ = build_pop_offsets(topo);
     pop_sites_.assign(pop_offsets_->back(), anycast::kUnknownSite);
-    for (AsId as = 0; as < topo.as_count(); ++as) resolve_pop_sites(as);
+    as_flags_.assign(topo.as_count(), 0);
+    for (AsId as = 0; as < topo.as_count(); ++as) {
+      resolve_pop_sites(as);
+      index_spray(as);
+    }
   }
   // Blocks owned by changed ASes, as merged sorted ranges into
   // topo.blocks() — the invalidation unit for warm CatchmentResolver
@@ -161,20 +200,21 @@ SiteId RoutingTable::site_for_block(net::Block24 block) const {
 }
 
 SiteId RoutingTable::site_for_block(const topology::BlockInfo& info) const {
-  const AsNode& node = topo_->as_at(info.as_id);
-  const AsRoutingState& state = *states_[info.as_id];
-  if (node.multipath && state.multi_site()) {
+  const std::uint8_t flags = as_flags_[info.as_id];
+  if (flags & kSprayFlag) {
     // Flow-hash load balancing: each block stably picks one of the tied
     // routes. Stable across rounds (same hash), so this creates lasting
     // intra-AS divisions, not flapping — but the hash seed drifts across
     // routing epochs (router restarts, ECMP rehash), which is part of the
-    // paper's April-to-May catchment shift (section 5.5).
+    // paper's April-to-May catchment shift (section 5.5). The stored
+    // count equals candidates.size(), so the SoA read reproduces the
+    // state-chasing path bit for bit.
     const std::uint64_t h = util::hash_combine(
         util::hash_combine(util::mix64(0x6d70617468), epoch_salt_),
         info.block.index());
-    return state.candidates[h % state.candidates.size()].site;
+    return spray_sites_[info.as_id * kMaxTiedRoutes + h % (flags >> 4)];
   }
-  return site_for_pop(info.as_id, info.pop);
+  return pop_sites_[(*pop_offsets_)[info.as_id] + info.pop];
 }
 
 std::size_t RoutingTable::distinct_sites(AsId as) const {
@@ -214,6 +254,8 @@ std::size_t RoutingTable::memory_bytes() const {
       sizeof(*this) + pop_sites_.capacity() * sizeof(SiteId) +
       pop_offsets_->capacity() * sizeof(std::uint32_t) +
       states_.capacity() * sizeof(states_[0]) +
+      as_flags_.capacity() +
+      spray_sites_.capacity() * sizeof(SiteId) +
       changed_ases_.capacity() * sizeof(AsId) +
       changed_block_ranges_.capacity() * sizeof(BlockRange);
   for (const auto& state : states_) {

@@ -51,6 +51,13 @@ enum class RouteClass : std::uint8_t {
   kNone = 3,
 };
 
+/// Upper bound on equal-best routes retained per AS. The engine's reduce
+/// step truncates candidate sets to this, and RoutingTable's fixed-width
+/// spray rows (one SiteId row of this width per multipath AS) rely on the
+/// bound — the multipath flow hash mods by the stored count, which always
+/// equals candidates.size() under this cap.
+inline constexpr std::size_t kMaxTiedRoutes = 12;
+
 /// One candidate best route at an AS.
 struct CandidateRoute {
   SiteId site = anycast::kUnknownSite;
@@ -192,7 +199,10 @@ class RoutingTable {
  private:
   struct ResolverSlot;  // once-flag + resolver; shared so moves are cheap
 
+  static constexpr std::uint8_t kSprayFlag = 1;  // bits 4..7: tied count
+
   void resolve_pop_sites(AsId as);
+  void index_spray(AsId as);
 
   const topology::Topology* topo_;
   std::shared_ptr<const anycast::Deployment> deployment_;
@@ -200,6 +210,14 @@ class RoutingTable {
   std::vector<std::shared_ptr<const AsRoutingState>> states_;
   std::shared_ptr<const std::vector<std::uint32_t>> pop_offsets_;
   std::vector<SiteId> pop_sites_;
+  // SoA hot path for site_for_block: one flag byte per AS (bit 0 = spray
+  // across tied routes, bits 4..7 = tied-route count) plus fixed-width
+  // SiteId spray rows — the CatchmentResolver direct-mapped layout
+  // generalized to per-AS routing state. Replaces a pointer chase through
+  // shared_ptr<AsRoutingState> + a candidates-vector scan per block, which
+  // dominated uncached probe rounds at millions of blocks.
+  std::vector<std::uint8_t> as_flags_;
+  std::vector<SiteId> spray_sites_;  // lazily as_count * kMaxTiedRoutes
   std::weak_ptr<const RoutingTable> parent_;
   std::vector<AsId> changed_ases_;
   std::vector<BlockRange> changed_block_ranges_;

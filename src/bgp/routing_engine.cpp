@@ -20,7 +20,6 @@ using topology::Topology;
 namespace {
 
 constexpr std::uint8_t kMaxPathLen = 250;
-constexpr std::size_t kMaxCandidates = 12;  // tied-route retention cap
 
 std::span<const double> frontier_buckets() {
   static constexpr double kBounds[] = {1,    2,    4,    8,     16,   32,
@@ -70,7 +69,9 @@ void reduce(std::vector<CandidateRoute>& offers) {
                                     a.site == b.site;
                            }),
                offers.end());
-  if (offers.size() > kMaxCandidates) offers.resize(kMaxCandidates);
+  // The retention cap is shared with RoutingTable's fixed-width spray
+  // rows (routing.hpp) — the SoA layout depends on it.
+  if (offers.size() > kMaxTiedRoutes) offers.resize(kMaxTiedRoutes);
 }
 
 /// The three per-class candidate lists of one AS. The final (selected)
@@ -489,11 +490,30 @@ struct RoutingEngine::Impl : Kernel {
   std::vector<AsId> publish(const Topology& topo) {
     std::vector<AsId> changed;
     const bool first = published.empty();
-    if (first) published.resize(topo.as_count());
+    if (first) {
+      // Arena publish: the first full() materializes every AS's state, so
+      // put them in one contiguous vector and hand out aliasing
+      // shared_ptrs into it. At 500k ASes this replaces 500k control
+      // blocks + allocations with one, keeps the states cache-adjacent
+      // for the table's resolve pass, and preserves pointer identity for
+      // the structural-sharing contract (delta publishes still replace
+      // individual entries with their own allocations).
+      published.resize(topo.as_count());
+      auto arena =
+          std::make_shared<std::vector<AsRoutingState>>(topo.as_count());
+      changed.reserve(topo.as_count());
+      for (AsId v = 0; v < topo.as_count(); ++v) {
+        AsRoutingState& state = (*arena)[v];
+        state.candidates = final_list(v);
+        state.canonical = 0;  // canonical order: lowest tiebreak first
+        published[v] = std::shared_ptr<const AsRoutingState>(arena, &state);
+        changed.push_back(v);
+      }
+      return changed;
+    }
     for (AsId v = 0; v < topo.as_count(); ++v) {
       const std::vector<CandidateRoute>& fl = final_list(v);
-      if (!first && published[v] != nullptr &&
-          published[v]->candidates == fl)
+      if (published[v] != nullptr && published[v]->candidates == fl)
         continue;
       auto state = std::make_shared<AsRoutingState>();
       state->candidates = fl;

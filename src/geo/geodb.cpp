@@ -7,13 +7,63 @@
 namespace vp::geo {
 
 void GeoDatabase::add(net::Block24 block, const GeoRecord& record) {
-  records_[block] = record;
+  const std::uint32_t b = block.index();
+  if (records_.empty()) {
+    first_ = b;
+    records_.resize(1);
+    present_.resize(1, 0);
+  } else if (b < first_) {
+    records_.insert(records_.begin(), first_ - b, GeoRecord{});
+    present_.insert(present_.begin(), first_ - b, 0);
+    first_ = b;
+  } else if (b - first_ >= records_.size()) {
+    records_.resize(b - first_ + 1);
+    present_.resize(b - first_ + 1, 0);
+  }
+  const std::uint32_t slot = b - first_;
+  if (!present_[slot]) ++count_;
+  present_[slot] = 1;
+  records_[slot] = record;
 }
 
 std::optional<GeoRecord> GeoDatabase::lookup(net::Block24 block) const {
-  const auto it = records_.find(block);
-  if (it == records_.end()) return std::nullopt;
-  return it->second;
+  const std::uint32_t off = block.index() - first_;  // wraps below first_
+  if (off >= records_.size() || !present_[off]) return std::nullopt;
+  return records_[off];
+}
+
+void GeoDatabase::prepare_span(net::Block24 lo, net::Block24 hi) {
+  // Bulk build only makes sense on an empty database; keep any existing
+  // records by widening instead of clobbering.
+  const std::uint32_t lo_i = lo.index();
+  const std::uint32_t hi_i = hi.index();
+  if (records_.empty()) {
+    first_ = lo_i;
+    records_.resize(hi_i - lo_i + 1);
+    present_.resize(hi_i - lo_i + 1, 0);
+    return;
+  }
+  if (lo_i < first_) {
+    records_.insert(records_.begin(), first_ - lo_i, GeoRecord{});
+    present_.insert(present_.begin(), first_ - lo_i, 0);
+    first_ = lo_i;
+  }
+  if (hi_i - first_ >= records_.size()) {
+    records_.resize(hi_i - first_ + 1);
+    present_.resize(hi_i - first_ + 1, 0);
+  }
+}
+
+void GeoDatabase::set(net::Block24 block, const GeoRecord& record) {
+  const std::uint32_t slot = block.index() - first_;
+  records_[slot] = record;
+  present_[slot] = 1;
+}
+
+void GeoDatabase::recount() {
+  std::size_t n = 0;
+  for (const std::uint8_t p : present_) n += p;
+  count_ = n;
 }
 
 GeoBin GeoBin::of(LatLon loc) {

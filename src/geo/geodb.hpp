@@ -26,18 +26,54 @@ struct GeoRecord {
   Continent continent = Continent::kEurope;
 };
 
+/// Flat, direct-mapped store over the allocated /24 span. The allocated
+/// block range is dense in practice (the generators hand out blocks from a
+/// contiguous allocator), so a presence byte + record per span slot is far
+/// smaller and faster than the hash map it replaces — and the slices are
+/// disjoint per writer, which is what lets the scale generator fill the
+/// database from parallel shard workers.
 class GeoDatabase {
  public:
   /// Registers the location of a block. Blocks never registered are
-  /// "un-geolocatable" — lookups return nullopt.
+  /// "un-geolocatable" — lookups return nullopt. Grows the span as needed.
   void add(net::Block24 block, const GeoRecord& record);
 
   std::optional<GeoRecord> lookup(net::Block24 block) const;
 
-  std::size_t size() const { return records_.size(); }
+  std::size_t size() const { return count_; }
+
+  // --- bulk build (scale generator) ---------------------------------------
+  /// Pre-sizes the store to cover [lo, hi] inclusive. After this, set() may
+  /// be called concurrently for distinct blocks inside the span.
+  void prepare_span(net::Block24 lo, net::Block24 hi);
+
+  /// Writes one record inside the prepared span. Thread-safe for distinct
+  /// blocks (plain disjoint writes, no size bookkeeping). Call recount()
+  /// once all writers are done.
+  void set(net::Block24 block, const GeoRecord& record);
+
+  /// Recomputes size() after a bulk fill via set().
+  void recount();
+
+  /// Approximate heap footprint.
+  std::size_t memory_bytes() const {
+    return records_.capacity() * sizeof(GeoRecord) + present_.capacity();
+  }
+
+  /// Visits every (block, record) pair in ascending block order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      if (present_[i])
+        fn(net::Block24{first_ + static_cast<std::uint32_t>(i)}, records_[i]);
+    }
+  }
 
  private:
-  std::unordered_map<net::Block24, GeoRecord> records_;
+  std::uint32_t first_ = 0;
+  std::vector<GeoRecord> records_;
+  std::vector<std::uint8_t> present_;  // byte-wide: no racy bit RMW
+  std::size_t count_ = 0;
 };
 
 /// A 2-degree geographic bin, the paper's map resolution ("two-degree

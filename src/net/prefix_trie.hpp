@@ -76,6 +76,9 @@ class PrefixTrie {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Approximate heap footprint of the node pool.
+  std::size_t memory_bytes() const { return nodes_.capacity() * sizeof(Node); }
+
   /// Visits every (prefix, value) pair in lexicographic prefix order.
   template <typename Fn>
   void for_each(Fn&& fn) const {

@@ -29,8 +29,24 @@ AsId Topology::find_as(AsNumber asn) const {
 }
 
 const BlockInfo* Topology::block_info(net::Block24 block) const {
-  const auto it = block_index_.find(block);
-  return it == block_index_.end() ? nullptr : &blocks_[it->second];
+  const std::uint32_t off = block.index() - block_first_;  // wraps if below
+  if (off >= block_slots_.size()) return nullptr;
+  const std::uint32_t slot = block_slots_[off];
+  return slot == kNoBlockSlot ? nullptr : &blocks_[slot];
+}
+
+void Topology::index_block(net::Block24 block, std::uint32_t index) {
+  const std::uint32_t b = block.index();
+  if (block_slots_.empty()) {
+    block_first_ = b;
+    block_slots_.assign(1, kNoBlockSlot);
+  } else if (b < block_first_) {
+    block_slots_.insert(block_slots_.begin(), block_first_ - b, kNoBlockSlot);
+    block_first_ = b;
+  } else if (b - block_first_ >= block_slots_.size()) {
+    block_slots_.resize(b - block_first_ + 1, kNoBlockSlot);
+  }
+  block_slots_[b - block_first_] = index;
 }
 
 AsId Topology::add_as(AsNode node) {
@@ -95,10 +111,44 @@ void Topology::add_block(net::Block24 block, AsId as_id, std::uint16_t pop,
                          std::uint32_t prefix_index) {
   const auto index = static_cast<std::uint32_t>(blocks_.size());
   blocks_.push_back(BlockInfo{block, as_id, pop, prefix_index});
-  block_index_.emplace(block, index);
+  index_block(block, index);
   AsNode& node = ases_[as_id];
   if (node.block_count == 0) node.first_block = index;
   ++node.block_count;
+}
+
+void Topology::begin_bulk_blocks(std::size_t total) {
+  blocks_.assign(total, BlockInfo{});
+  block_slots_.clear();
+  block_first_ = 0;
+}
+
+void Topology::finish_bulk_blocks() {
+  if (blocks_.empty()) return;
+  std::uint32_t lo = 0xffffffff, hi = 0;
+  for (const BlockInfo& info : blocks_) {
+    lo = std::min(lo, info.block.index());
+    hi = std::max(hi, info.block.index());
+  }
+  block_first_ = lo;
+  block_slots_.assign(hi - lo + 1, kNoBlockSlot);
+  for (std::uint32_t i = 0; i < blocks_.size(); ++i)
+    block_slots_[blocks_[i].block.index() - lo] = i;
+}
+
+std::size_t Topology::memory_bytes() const {
+  std::size_t bytes = ases_.capacity() * sizeof(AsNode) +
+                      prefixes_.capacity() * sizeof(AnnouncedPrefix) +
+                      blocks_.capacity() * sizeof(BlockInfo) +
+                      block_slots_.capacity() * sizeof(std::uint32_t) +
+                      by_asn_.size() * (sizeof(std::uint32_t) + sizeof(AsId) +
+                                        2 * sizeof(void*)) +
+                      trie_.memory_bytes() + geodb_.memory_bytes();
+  for (const AsNode& node : ases_) {
+    bytes += node.pops.capacity() * sizeof(Pop) +
+             node.links.capacity() * sizeof(Link);
+  }
+  return bytes;
 }
 
 void Topology::seal() {

@@ -1,0 +1,192 @@
+// Structural invariants of generated scale topologies: the properties
+// every downstream layer assumes (connectivity, an acyclic provider
+// hierarchy for incremental BGP, seal-ordering) plus the statistical
+// knobs the Fig-7 reproduction depends on (multihoming degree, peering
+// density, multi-site-AS fraction).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "anycast/deployment.hpp"
+#include "bgp/routing_engine.hpp"
+#include "topology/scale_generator.hpp"
+#include "topology/topology.hpp"
+
+namespace vp {
+namespace {
+
+using topology::AsId;
+using topology::AsNode;
+using topology::AsTier;
+using topology::Relationship;
+using topology::ScaleConfig;
+using topology::Topology;
+
+ScaleConfig test_config() {
+  ScaleConfig config;
+  config.seed = 11;
+  config.as_count = 2'000;
+  config.target_blocks = 24'000;
+  config.transit_count = 12;
+  return config;
+}
+
+std::size_t reachable_from(const Topology& topo, AsId start) {
+  std::vector<bool> seen(topo.as_count(), false);
+  std::queue<AsId> frontier;
+  frontier.push(start);
+  seen[start] = true;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const AsId v = frontier.front();
+    frontier.pop();
+    for (const auto& link : topo.as_at(v).links) {
+      if (!seen[link.neighbor]) {
+        seen[link.neighbor] = true;
+        ++count;
+        frontier.push(link.neighbor);
+      }
+    }
+  }
+  return count;
+}
+
+// Every AS must reach the transit core — an unreachable island would be
+// invisible to every anycast deployment and silently shrink the
+// denominator of every figure.
+TEST(ScaleInvariants, GraphIsConnected) {
+  const Topology topo = generate_scale_topology(test_config());
+  EXPECT_EQ(reachable_from(topo, 0), topo.as_count());
+}
+
+// The transit clique peers pairwise: any two tier-1s are one hop apart,
+// which is what makes the core a default-free zone stand-in.
+TEST(ScaleInvariants, TransitCoreIsAClique) {
+  const ScaleConfig config = test_config();
+  const Topology topo = generate_scale_topology(config);
+  for (AsId u = 0; u < config.transit_count; ++u) {
+    const AsNode& node = topo.as_at(u);
+    EXPECT_EQ(node.tier, AsTier::kTransit);
+    std::size_t transit_peers = 0;
+    for (const auto& link : node.links) {
+      if (link.neighbor < config.transit_count) {
+        EXPECT_EQ(link.rel, Relationship::kPeer);
+        ++transit_peers;
+      }
+    }
+    EXPECT_EQ(transit_peers, config.transit_count - 1) << "transit " << u;
+  }
+}
+
+// The customer->provider hierarchy is acyclic by construction (providers
+// always have lower ids), so the routing engine must take its
+// incremental path — never the cyclic-graph full-recompute fallback.
+TEST(ScaleInvariants, ProviderHierarchyIsAcyclic) {
+  const Topology topo = generate_scale_topology(test_config());
+  const auto deployment = anycast::make_generated(topo, 4, 11);
+  bgp::RoutingEngine engine{topo, deployment};
+  EXPECT_TRUE(engine.incremental_supported());
+  ASSERT_NE(engine.full(), nullptr);
+  const auto result =
+      engine.apply(anycast::ConfigDelta::set_prepend(/*site=*/1, 2));
+  EXPECT_FALSE(result.full_recompute);
+  EXPECT_LT(result.recomputed_ases, topo.as_count());
+}
+
+// Stub multihoming: mean provider degree of stubs tracks
+// 1 + multihoming_mean (one primary provider plus a geometric number of
+// extras with that mean).
+TEST(ScaleInvariants, StubProviderDegreeTracksMultihomingKnob) {
+  for (const double multihoming : {0.2, 0.8}) {
+    ScaleConfig config = test_config();
+    config.multihoming_mean = multihoming;
+    const Topology topo = generate_scale_topology(config);
+    std::size_t stubs = 0, providers = 0;
+    for (AsId v = 0; v < topo.as_count(); ++v) {
+      const AsNode& node = topo.as_at(v);
+      if (node.tier != AsTier::kStub) continue;
+      ++stubs;
+      for (const auto& link : node.links)
+        if (link.rel == Relationship::kProvider) ++providers;
+    }
+    ASSERT_GT(stubs, 1000u);
+    const double mean =
+        static_cast<double>(providers) / static_cast<double>(stubs);
+    EXPECT_NEAR(mean, 1.0 + multihoming, 0.15)
+        << "multihoming_mean " << multihoming;
+  }
+}
+
+std::size_t regional_peer_links(const Topology& topo) {
+  std::size_t peers = 0;
+  for (AsId v = 0; v < topo.as_count(); ++v) {
+    const AsNode& node = topo.as_at(v);
+    if (node.tier != AsTier::kRegional) continue;
+    for (const auto& link : node.links)
+      if (link.rel == Relationship::kPeer) ++peers;
+  }
+  return peers;
+}
+
+// Lateral peering among regionals scales with the density knob.
+TEST(ScaleInvariants, PeeringDensityKnobMovesPeerCount) {
+  ScaleConfig sparse = test_config();
+  sparse.peering_density = 0.05;
+  ScaleConfig dense = test_config();
+  dense.peering_density = 0.60;
+  const std::size_t few = regional_peer_links(generate_scale_topology(sparse));
+  const std::size_t many = regional_peer_links(generate_scale_topology(dense));
+  EXPECT_GT(many, few * 4);
+}
+
+double multi_site_fraction(const Topology& topo,
+                           const bgp::RoutingTable& routes) {
+  std::size_t observed = 0, multi = 0;
+  for (AsId v = 0; v < topo.as_count(); ++v) {
+    if (topo.as_at(v).block_count == 0) continue;
+    ++observed;
+    if (routes.distinct_sites(v) > 1) ++multi;
+  }
+  return static_cast<double>(multi) / static_cast<double>(observed);
+}
+
+// The Fig-7 headline (12.7% of ASes served by more than one site) is
+// driven by multihoming: more providers means more ties between sites,
+// hence more hot-potato/multipath splits. The knob must move the
+// fraction in the right direction, strictly.
+TEST(ScaleInvariants, MultiSiteFractionIncreasesWithMultihoming) {
+  double fractions[2] = {0, 0};
+  const double knobs[2] = {0.1, 1.2};
+  for (int i = 0; i < 2; ++i) {
+    ScaleConfig config = test_config();
+    config.multihoming_mean = knobs[i];
+    const Topology topo = generate_scale_topology(config);
+    const auto deployment = anycast::make_generated(topo, 9, 11);
+    bgp::RoutingEngine engine{topo, deployment};
+    const auto routes = engine.full();
+    fractions[i] = multi_site_fraction(topo, *routes);
+  }
+  EXPECT_GT(fractions[0], 0.0);
+  EXPECT_LT(fractions[0], fractions[1]);
+}
+
+// Seal-order invariants the resolver and probe engine rely on: blocks
+// sorted by index and owned by the AS whose [first_block, block_count)
+// range covers them.
+TEST(ScaleInvariants, BlocksAreSealedInOrderAndOwned) {
+  const Topology topo = generate_scale_topology(test_config());
+  const auto blocks = topo.blocks();
+  for (std::size_t i = 1; i < blocks.size(); ++i)
+    ASSERT_LT(blocks[i - 1].block.index(), blocks[i].block.index());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const AsNode& owner = topo.as_at(blocks[i].as_id);
+    ASSERT_GE(i, owner.first_block);
+    ASSERT_LT(i, owner.first_block + owner.block_count);
+    ASSERT_LT(blocks[i].pop, owner.pops.size());
+  }
+}
+
+}  // namespace
+}  // namespace vp

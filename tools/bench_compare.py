@@ -34,14 +34,37 @@ absolute-time band. --update preserves the section verbatim.
 §13): each gate pins a minimum full-recompute vs delta-apply ratio from
 bench_delta_routing — e.g. a one-site prepend delta must stay >= 10x
 faster than rerouting from scratch. Also preserved verbatim by --update.
+
+"scale_gates" gates user counters from bench_scale_sweep (DESIGN.md
+§14). Two forms:
+
+  absolute  {"bench": ..., "counter": ..., "min_value"/"max_value": x}
+            e.g. table_bytes_per_as at 6.4M blocks must stay bounded
+  ratio     {"numerator": ..., "denominator": ..., "counter": ...,
+             "min_ratio": r}
+            e.g. per-block probe throughput at 6.4M blocks must stay
+            within a constant factor of the 120k figure — probe rounds
+            scale near memory bandwidth, not super-linearly in topology
+            size. Same-run ratios, so runner speed cancels out.
+
+Also preserved verbatim by --update.
 """
 import argparse
 import json
 import sys
 
+# Keys of a google-benchmark result object that are *not* user counters.
+KNOWN_FIELDS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "aggregate_name", "aggregate_unit", "family_index",
+    "per_family_instance_index", "label", "error_occurred", "error_message",
+    "big_o", "rms",
+}
+
 
 def load_results(paths):
-    """name -> {"real_time": ns, "time_unit": str} from benchmark JSON."""
+    """name -> {"real_time": ns, "time_unit": str, "counters": {...}}."""
     results = {}
     for path in paths:
         with open(path) as f:
@@ -51,10 +74,15 @@ def load_results(paths):
                     "aggregate_name") != "median":
                 continue  # keep only the median when repetitions aggregate
             name = b["run_name"] if "run_name" in b else b["name"]
+            counters = {k: v for k, v in b.items()
+                        if k not in KNOWN_FIELDS
+                        and isinstance(v, (int, float))}
             results[name] = {
                 "real_time": b["real_time"],
                 "time_unit": b.get("time_unit", "ns"),
             }
+            if counters:
+                results[name]["counters"] = counters
     return results
 
 
@@ -108,6 +136,47 @@ def cache_speedups(current, gates):
     return rows
 
 
+def counter_of(current, bench, counter):
+    entry = current.get(bench)
+    if not entry:
+        return None
+    return entry.get("counters", {}).get(counter)
+
+
+def scale_gate_rows(current, gates):
+    """(gate name, description, measured, ok?) per scale gate in this run."""
+    rows = []
+    for name, gate in sorted(gates.items()):
+        counter = gate["counter"]
+        if "bench" in gate:  # absolute form
+            value = counter_of(current, gate["bench"], counter)
+            if value is None:
+                continue  # gate's benchmark not in this run
+            ok = True
+            bounds = []
+            if "min_value" in gate:
+                ok = ok and value >= gate["min_value"]
+                bounds.append(f">= {gate['min_value']:g}")
+            if "max_value" in gate:
+                ok = ok and value <= gate["max_value"]
+                bounds.append(f"<= {gate['max_value']:g}")
+            desc = (f"{gate['bench']} {counter} = {value:.4g} "
+                    f"(gate {' and '.join(bounds)})")
+            rows.append((name, desc, ok))
+        else:  # ratio form
+            num = counter_of(current, gate["numerator"], counter)
+            den = counter_of(current, gate["denominator"], counter)
+            if num is None or den is None or den == 0:
+                continue
+            ratio = num / den
+            ok = ratio >= gate["min_ratio"]
+            desc = (f"{counter} {gate['numerator']} / {gate['denominator']} "
+                    f"= {ratio:.3g} (gate >= {gate['min_ratio']:g}, "
+                    f"same-run ratio)")
+            rows.append((name, desc, ok))
+    return rows
+
+
 def metrics_overhead(current):
     """Percent overhead of BM_RoundMetrics with metrics on vs off."""
     off = current.get("BM_RoundMetrics/0")
@@ -142,7 +211,7 @@ def main():
         try:  # the speedup gates are hand-set; carry them through refreshes
             with open(args.baseline) as f:
                 old = json.load(f)
-            for section in ("cache_gates", "delta_gates"):
+            for section in ("cache_gates", "delta_gates", "scale_gates"):
                 if old.get(section):
                     doc[section] = old[section]
         except (OSError, json.JSONDecodeError):
@@ -185,6 +254,13 @@ def main():
               f"full recompute (gate >= {need:g}x, same-run ratio)")
         if ratio < need:
             failures.append(f"{name} delta speedup {ratio:.1f}x < {need:g}x")
+
+    for name, desc, ok in scale_gate_rows(current,
+                                          doc.get("scale_gates", {})):
+        status = "ok" if ok else "FAIL"
+        print(f"{status:5} {name}: {desc}")
+        if not ok:
+            failures.append(f"{name}: {desc}")
 
     print(f"\n{len(failures)} failure(s), {len(warnings)} warning(s), "
           f"{len(current)} benchmark(s) compared")
