@@ -18,7 +18,9 @@
 //
 // Global flags: --scale F (Internet size, default 0.4), --seed N,
 // --threads N (probe workers per round; 0 = all hardware threads).
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -100,10 +102,23 @@ std::optional<Args> parse_args(int argc, char** argv) {
 constexpr int kExitResumed = 3;             // completed after a resume
 constexpr int kExitFingerprintMismatch = 4; // journal is another campaign's
 constexpr int kExitCorruptJournal = 5;      // checksum failure, refused
-// Any output artifact (--out, --metrics-out) failed to write. Writes go
-// through util::atomic_file, so failure surfaces at flush time — a
-// command must never exit 0 after silently losing its artifact.
+// Any output artifact (--out, --metrics-out, the journal) failed to
+// write. Writes go through util::atomic_file (and journal appends fail
+// fast on I/O errors), so failure surfaces at flush time — a command
+// must never exit 0 after silently losing its artifact.
 constexpr int kExitWriteFailed = 6;
+// SIGINT/SIGTERM landed mid-campaign: the in-flight round and its
+// journal append completed, metrics flushed, later rounds were skipped.
+// The journal is a resumable prefix; rerun with --resume to finish.
+constexpr int kExitInterrupted = 7;
+
+/// Set by the signal handler, polled by Campaign between rounds. Signal
+/// handlers may only touch lock-free atomics; everything else (the final
+/// journal append, the metrics flush) happens on the normal path after
+/// the campaign loop notices the flag.
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true, std::memory_order_relaxed); }
 
 int usage() {
   std::fprintf(
@@ -164,9 +179,11 @@ int usage() {
       "  --out FILE         write every round's catchment as one CSV\n"
       "                     (atomic replace; byte-stable across resumes)\n"
       "campaign exit codes: 0 ran fresh, 3 completed after a resume,\n"
-      "  4 journal belongs to a different config, 5 journal corrupt\n"
-      "all commands exit 6 when an output file (--out/--metrics-out)\n"
-      "  cannot be written\n"
+      "  4 journal belongs to a different config, 5 journal corrupt,\n"
+      "  7 interrupted by SIGINT/SIGTERM (current round + journal append\n"
+      "  finished; journal is a resumable prefix)\n"
+      "all commands exit 6 when an output file (--out/--metrics-out) or\n"
+      "  the journal cannot be written\n"
       "predict options:\n"
       "  --catchment FILE   reuse an exported catchment instead of scanning\n"
       "  --date apr|may     which load dataset to weight with (default may)\n"
@@ -424,6 +441,12 @@ int cmd_sweep(const Args& args) {
 }
 
 int cmd_campaign(const Args& args) {
+  // A SIGINT mid-campaign must not lose the final journal frame or the
+  // metrics flush: the handler only sets a flag, the campaign finishes
+  // the round (and append) in flight, and we exit with a distinct code.
+  // Installed before the (slow) scenario build so an early ^C is caught.
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
   const auto scenario = make_scenario(args);
   const auto& deployment = pick_deployment(scenario, args);
   const auto rounds = static_cast<std::uint32_t>(args.get_long("rounds", 16));
@@ -442,6 +465,7 @@ int cmd_campaign(const Args& args) {
       .threads(probe_threads(args))
       .concurrency(static_cast<unsigned>(args.get_long("concurrency", 1)))
       .observe(progress)
+      .cancel(&g_interrupted)
       .faults(injector ? &*injector : nullptr);
   if (args.has("journal")) {
     campaign.journal(args.get("journal", ""),
@@ -461,8 +485,11 @@ int cmd_campaign(const Args& args) {
                    "refusing to resume\n");
       return kExitCorruptJournal;
     case core::JournalStatus::kIoError:
+      // The journal is an output artifact like --out: losing frames must
+      // surface as the write-failure exit code, never a generic error
+      // (and never silently — see VP_JOURNAL_FAIL_AT in journal_test).
       std::fprintf(stderr, "error: cannot write journal\n");
-      return 1;
+      return kExitWriteFailed;
     case core::JournalStatus::kResumed:
       std::printf("resumed: %u rounds from journal, %u re-run",
                   outcome.rounds_loaded, outcome.rounds_executed);
@@ -474,6 +501,19 @@ int cmd_campaign(const Args& args) {
       break;
     default:
       break;
+  }
+  if (outcome.interrupted) {
+    // Skipped rounds left empty results, so the stability analysis and
+    // the --out CSV (which must cover every round) would be wrong.
+    // Everything durable — the in-flight round's journal append — already
+    // happened; report the prefix and leave with a distinct code.
+    std::uint32_t completed = 0;
+    for (const core::RoundResult& result : outcome.results)
+      if (result.map.blocks_probed > 0) ++completed;
+    std::printf("interrupted: %u of %u rounds completed (%u from journal); "
+                "rerun with --resume to finish\n",
+                completed, rounds, outcome.rounds_loaded);
+    return kExitInterrupted;
   }
   const auto& results = outcome.results;
   analysis::StabilityAccumulator accumulator{scenario.topo()};

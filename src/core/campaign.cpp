@@ -78,6 +78,15 @@ CampaignReport Campaign::run_reported() const {
   // is fine — records carry round ids and resume takes the set.
   std::mutex journal_mutex;
   std::atomic<bool> append_ok{true};
+  std::atomic<bool> cancelled{false};
+  const auto cancel_requested = [&] {
+    if (cancelled.load(std::memory_order_relaxed)) return true;
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
   const auto run_one = [&](std::uint32_t r) {
     // Wall time of the round INCLUDING its journal append, as the
     // campaign experiences it (the engine's vp_engine_round_ms excludes
@@ -94,15 +103,23 @@ CampaignReport Campaign::run_reported() const {
   const unsigned in_flight =
       std::min(util::resolve_threads(concurrency_),
                std::max<std::uint32_t>(rounds_, 1));
+  // Cancellation is checked before each round starts (including inside
+  // the pool tasks): rounds in flight finish and journal normally, rounds
+  // not yet started are simply skipped — the journal stays a resumable
+  // prefix of the campaign.
   if (in_flight <= 1) {
-    for (std::uint32_t r = 0; r < rounds_; ++r)
+    for (std::uint32_t r = 0; r < rounds_ && !cancel_requested(); ++r)
       if (!done[r]) run_one(r);
   } else {
     util::ThreadPool pool{in_flight};
     for (std::uint32_t r = 0; r < rounds_; ++r)
-      if (!done[r]) pool.submit([&run_one, r] { run_one(r); });
+      if (!done[r])
+        pool.submit([&run_one, &cancel_requested, r] {
+          if (!cancel_requested()) run_one(r);
+        });
     pool.wait_idle();
   }
+  report.interrupted = cancelled.load(std::memory_order_relaxed);
   if (!append_ok) report.journal = JournalStatus::kIoError;
   return report;
 }

@@ -17,6 +17,7 @@
 // mark, and a partially-written (torn) round record simply re-runs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,6 +39,10 @@ struct CampaignReport {
   std::uint32_t rounds_loaded = 0;    ///< taken from the journal
   std::uint32_t rounds_executed = 0;  ///< actually run by this process
   std::uint64_t truncated_bytes = 0;  ///< torn tail discarded on resume
+  /// True when the cancel flag stopped the run early. Rounds that were
+  /// in flight finished and were journaled; later results are empty, so
+  /// interrupted runs must not be treated as complete campaigns.
+  bool interrupted = false;
 
   /// False when the journal refused (mismatch/corruption) or appends
   /// failed; refused runs carry no results.
@@ -108,6 +113,15 @@ class Campaign {
     resume_ = attempt;
     return *this;
   }
+  /// Cooperative cancellation (SIGINT-safe shutdown): the flag is checked
+  /// before each round starts, never mid-round, so the round in flight —
+  /// and its journal append — always completes. The journal therefore
+  /// stays a prefix a later --resume continues bit-identically. Null (the
+  /// default) never cancels; the flag must outlive run().
+  Campaign& cancel(const std::atomic<bool>* flag) {
+    cancel_ = flag;
+    return *this;
+  }
 
   /// The fully-resolved spec for round r — the campaign's spacing and
   /// seeding policy in one place.
@@ -141,6 +155,7 @@ class Campaign {
   std::string journal_path_;
   std::uint64_t deployment_hash_ = 0;
   bool resume_ = false;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 }  // namespace vp::core

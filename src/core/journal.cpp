@@ -208,15 +208,35 @@ int crash_at_frame() {
   return k;
 }
 
+/// Test-only I/O-failure hook: VP_JOURNAL_FAIL_AT=k makes every frame
+/// write from the k-th on (1-based, same counter as the crash hook)
+/// report failure without touching the file — the signature of a journal
+/// directory going unwritable (disk full, volume remounted read-only)
+/// mid-campaign. Unlike the crash hook the process survives, so tests
+/// can assert the failure is *surfaced* (exit code 6) rather than frames
+/// being silently dropped.
+int fail_at_frame() {
+  static const int k = [] {
+    const char* env = std::getenv("VP_JOURNAL_FAIL_AT");
+    return env ? std::atoi(env) : 0;
+  }();
+  return k;
+}
+
 bool write_frame(int fd, std::string_view frame) {
-  const int k = crash_at_frame();
-  if (k > 0 && ++g_frame_writes == k) {
-    std::size_t cut = frame.size();
-    if (k % 3 == 1) cut = 0;
-    if (k % 3 == 2) cut = frame.size() / 2;
-    write_all(fd, frame.data(), cut);
-    ::fsync(fd);
-    ::_exit(86);
+  const int crash_k = crash_at_frame();
+  const int fail_k = fail_at_frame();
+  if (crash_k > 0 || fail_k > 0) {
+    const int n = ++g_frame_writes;
+    if (n == crash_k) {
+      std::size_t cut = frame.size();
+      if (crash_k % 3 == 1) cut = 0;
+      if (crash_k % 3 == 2) cut = frame.size() / 2;
+      write_all(fd, frame.data(), cut);
+      ::fsync(fd);
+      ::_exit(86);
+    }
+    if (fail_k > 0 && n >= fail_k) return false;
   }
   return write_all(fd, frame.data(), frame.size()) && ::fsync(fd) == 0;
 }

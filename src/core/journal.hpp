@@ -84,8 +84,14 @@ class CampaignJournal {
   /// validated against `manifest`: matching journals return kResumed with
   /// their completed rounds (torn tail truncated in place); mismatched or
   /// corrupt journals refuse — the file is left untouched and the journal
-  /// stays closed. Without `resume`, or when the file is absent/empty,
-  /// the journal is recreated with a fresh manifest (kFresh).
+  /// stays closed. Without `resume`, the journal is recreated with a
+  /// fresh manifest (kFresh).
+  ///
+  /// Empty-file contract: a 0-byte journal resumes exactly like a missing
+  /// one — kFresh, no rounds loaded, file recreated. An empty file is the
+  /// fingerprint of a crash before the manifest write (cut position 0 of
+  /// the kill-point harness), so there is by construction no state to
+  /// validate against and nothing to refuse; journal_test pins this.
   OpenResult open(const std::string& path, const JournalManifest& manifest,
                   bool resume);
 

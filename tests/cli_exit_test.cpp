@@ -4,17 +4,26 @@
 // time — this forks the real binary and checks the distinct write-failed
 // exit code (6) for --out and --metrics-out, and that successful runs
 // actually leave the artifact behind.
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace {
 
+constexpr int kResumedExit = 3;
 constexpr int kWriteFailedExit = 6;
+constexpr int kInterruptedExit = 7;
 
 std::string test_dir() {
   static const std::string dir = [] {
@@ -26,15 +35,23 @@ std::string test_dir() {
   return dir;
 }
 
-int run_vpctl(const std::string& args) {
+/// Runs vpctl with the given arguments, optionally with an environment
+/// prefix (e.g. the journal fault hooks); returns the exit code.
+int run_vpctl(const std::string& args, const std::string& env = "") {
   const std::string cmd =
-      std::string{VPCTL_PATH} + " " + args + " > /dev/null 2>&1";
+      env + std::string{VPCTL_PATH} + " " + args + " > /dev/null 2>&1";
   const int status = std::system(cmd.c_str());
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
 bool file_exists(const std::string& path) {
   return std::ifstream{path}.good();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
 }
 
 // A path whose parent directory does not exist; atomic_write_file cannot
@@ -75,6 +92,113 @@ TEST(CliExit, WritablePathsExitZeroAndLeaveArtifacts) {
   EXPECT_TRUE(file_exists(json));
   ASSERT_EQ(run_vpctl(kScan + " --no-metrics --metrics-out " + prom), 0);
   EXPECT_TRUE(file_exists(prom));
+}
+
+TEST(CliExit, JournalUnwritableMidCampaignExits6) {
+  // VP_JOURNAL_FAIL_AT=2 fails every frame write from the first round
+  // append on — the signature of the journal directory going unwritable
+  // (disk full, read-only remount) mid-campaign. The campaign must
+  // surface that as the write-failure exit code, never exit 0 after
+  // silently dropping frames.
+  const std::string journal = test_dir() + "/fail_mid.bin";
+  EXPECT_EQ(run_vpctl("campaign --scale 0.03 --rounds 3 --seed 5 --journal " +
+                          journal,
+                      "VP_JOURNAL_FAIL_AT=2 "),
+            kWriteFailedExit);
+  std::remove(journal.c_str());
+}
+
+/// Forks vpctl campaign, delivers `signum` once `when` says so, and
+/// returns the exit code (or -1 on signal death).
+int run_vpctl_signalled(const std::vector<std::string>& args, int signum,
+                        const std::function<bool()>& when) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    ::dup2(null_fd, 1);
+    ::dup2(null_fd, 2);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(VPCTL_PATH));
+    for (const std::string& arg : args)
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(VPCTL_PATH, argv.data());
+    ::_exit(127);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{60};
+  while (!when() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  ::kill(pid, signum);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0
+             ? static_cast<std::uint64_t>(st.st_size)
+             : 0;
+}
+
+TEST(CliExit, SigintEarlyInCampaignExits7AndLeavesResumablePrefix) {
+  // Interrupt as soon as the journal file appears (the campaign has just
+  // opened it; the signal handler went in before the scenario build).
+  // Whatever prefix of rounds got in, the exit code is the distinct
+  // interrupted one and the journal resumes into a complete campaign.
+  const std::string journal = test_dir() + "/sigint_early.bin";
+  const std::string csv = test_dir() + "/sigint_early.csv";
+  const std::vector<std::string> args = {
+      "campaign", "--scale", "0.03", "--rounds", "3", "--seed",    "5",
+      "--journal", journal,  "--out", csv};
+  EXPECT_EQ(run_vpctl_signalled(args, SIGINT,
+                                [&journal] { return file_exists(journal); }),
+            kInterruptedExit);
+  // An interrupted campaign must not write the all-rounds CSV (it would
+  // be missing rounds).
+  EXPECT_FALSE(file_exists(csv));
+
+  std::string resume;
+  for (const std::string& arg : args) resume += arg + " ";
+  EXPECT_EQ(run_vpctl(resume + "--resume"), kResumedExit);
+  EXPECT_TRUE(file_exists(csv));
+  std::remove(journal.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CliExit, SigintMidCampaignFinishesInFlightRoundThenExits7) {
+  // Interrupt once the first round's journal append has landed: the
+  // in-flight round completes (the journal stays a clean prefix) and a
+  // resume finishes the campaign producing the same artifact as an
+  // uninterrupted run.
+  const std::string journal = test_dir() + "/sigint_mid.bin";
+  const std::string csv = test_dir() + "/sigint_mid.csv";
+  const std::string base_journal = test_dir() + "/sigint_base.bin";
+  const std::string base_csv = test_dir() + "/sigint_base.csv";
+  const std::string common =
+      "campaign --scale 0.03 --rounds 8 --seed 5 ";
+  ASSERT_EQ(run_vpctl(common + "--journal " + base_journal + " --out " +
+                      base_csv),
+            0);
+
+  const std::vector<std::string> args = {
+      "campaign", "--scale", "0.03", "--rounds", "8", "--seed",    "5",
+      "--journal", journal,  "--out", csv};
+  // A manifest-only journal is a few dozen bytes; any size beyond 1 KB
+  // means at least one round record was appended.
+  const int rc = run_vpctl_signalled(args, SIGINT, [&journal] {
+    return file_size(journal) > 1024;
+  });
+  EXPECT_EQ(rc, kInterruptedExit);
+  EXPECT_FALSE(file_exists(csv));
+
+  std::string resume;
+  for (const std::string& arg : args) resume += arg + " ";
+  EXPECT_EQ(run_vpctl(resume + "--resume"), kResumedExit);
+  EXPECT_EQ(read_file(csv), read_file(base_csv));
+  for (const std::string& path : {journal, csv, base_journal, base_csv})
+    std::remove(path.c_str());
 }
 
 TEST(CliExit, MetricsFailureDoesNotMaskJournalRefusal) {

@@ -1,0 +1,159 @@
+// Daemon soak harness: drives the real vpd binary through a multi-round
+// measurement soak under a seeded fault plan, kills it at a journal
+// write point mid-soak, restarts it with --resume, and asserts the map
+// it serves over HTTP is byte-identical to what an uninterrupted offline
+// `vpctl campaign` run produces for the same configuration. Also proves
+// the journal interchangeability contract directly: a journal written
+// entirely by vpctl resumes into a serving daemon (and vice versa), and
+// SIGTERM always lands a clean exit 0.
+#include <gtest/gtest.h>
+
+#include "daemon_test_util.hpp"
+
+namespace vp {
+namespace {
+
+using namespace vp::daemon_test;
+
+constexpr int kKilledExit = 86;  // VP_JOURNAL_CRASH_AT's _exit code
+constexpr unsigned kRounds = 5;
+
+std::string test_dir() {
+  static const std::string dir = [] {
+    std::string d =
+        "/tmp/vp_daemon_soak_" + std::to_string(static_cast<long>(getpid()));
+    mkdir(d.c_str(), 0755);
+    return d;
+  }();
+  return dir;
+}
+
+/// The one configuration every process in this file runs: same probe
+/// policy, spacing, and fault plan, so vpctl and vpd journals carry the
+/// same manifest fingerprint.
+const std::string kCommon = "--scale 0.03 --seed 5 --fault-seed 7";
+
+std::vector<std::string> vpd_args(const std::string& extra_journal,
+                                  const std::string& port_file) {
+  std::vector<std::string> args = {"--scale",      "0.03", "--seed", "5",
+                                   "--fault-seed", "7",    "--rounds",
+                                   std::to_string(kRounds)};
+  if (!extra_journal.empty()) {
+    args.push_back("--journal");
+    args.push_back(extra_journal);
+    args.push_back("--resume");
+  }
+  args.push_back("--listen");
+  args.push_back("0");
+  args.push_back("--port-file");
+  args.push_back(port_file);
+  return args;
+}
+
+/// The uninterrupted offline campaign — the ground truth every served
+/// map is byte-compared against.
+const std::string& baseline_csv() {
+  static const std::string text = [] {
+    const std::string csv = test_dir() + "/base.csv";
+    EXPECT_EQ(run_blocking(VPCTL_PATH,
+                           "campaign " + kCommon + " --rounds " +
+                               std::to_string(kRounds) + " --journal " +
+                               test_dir() + "/base.journal --out " + csv),
+              0);
+    return read_file(csv);
+  }();
+  return text;
+}
+
+TEST(DaemonSoak, KillMidSoakThenResumeServesByteIdenticalMap) {
+  ASSERT_FALSE(baseline_csv().empty());
+  const std::string journal = test_dir() + "/soak.journal";
+  const std::string port_file = test_dir() + "/soak.port";
+
+  // Phase 1: the soak run dies at the 4th journal write (rounds 0 and 1
+  // durable, round 2's append torn away) — a crash mid-campaign.
+  EXPECT_EQ(run_blocking(VPD_PATH,
+                         kCommon + " --rounds " + std::to_string(kRounds) +
+                             " --journal " + journal + " --exit-after-rounds",
+                         "VP_JOURNAL_CRASH_AT=4 "),
+            kKilledExit);
+
+  // Phase 2: restart with --resume and a listener. The daemon must come
+  // back, finish the remaining rounds, and serve round 4's map with the
+  // exact bytes the uninterrupted offline run wrote.
+  const pid_t pid = spawn_vpd(VPD_PATH, vpd_args(journal, port_file));
+  const std::uint16_t port = wait_port(port_file);
+  ASSERT_GT(port, 0);
+
+  const std::string health = poll_for(
+      port, "/healthz", "\"map_round\":" + std::to_string(kRounds - 1));
+  ASSERT_FALSE(health.empty()) << "daemon never reached the final round";
+  EXPECT_NE(health.find("\"state\":\"fresh\""), std::string::npos);
+
+  const HttpReply map = http_get(port, "/map");
+  EXPECT_EQ(map.status, 200);
+  EXPECT_EQ(map.body, round_section(baseline_csv(), kRounds - 1));
+
+  // A point query carries the bounded-staleness metadata.
+  const HttpReply block = http_get(port, "/block/10.0.0.1");
+  EXPECT_EQ(block.status, 200);
+  EXPECT_NE(block.body.find("\"map_round\":" + std::to_string(kRounds - 1)),
+            std::string::npos);
+
+  EXPECT_EQ(terminate_vpd(pid), 0);
+  std::remove(journal.c_str());
+  std::remove(port_file.c_str());
+}
+
+TEST(DaemonSoak, VpctlJournalResumesIntoServingDaemon) {
+  // Journal interchangeability, batch -> daemon: vpd adopts the journal
+  // the offline vpctl campaign wrote (same manifest fingerprint), resumes
+  // the live map from it without measuring anything, and serves the same
+  // bytes.
+  ASSERT_FALSE(baseline_csv().empty());
+  const std::string port_file = test_dir() + "/adopt.port";
+  const pid_t pid =
+      spawn_vpd(VPD_PATH, vpd_args(test_dir() + "/base.journal", port_file));
+  const std::uint16_t port = wait_port(port_file);
+  ASSERT_GT(port, 0);
+
+  const std::string health = poll_for(
+      port, "/healthz", "\"rounds_resumed\":" + std::to_string(kRounds));
+  ASSERT_FALSE(health.empty()) << "daemon did not adopt the vpctl journal";
+  EXPECT_NE(health.find("\"rounds_completed\":0"), std::string::npos);
+  EXPECT_NE(health.find("\"journal\":\"resumed\""), std::string::npos);
+
+  const HttpReply map = http_get(port, "/map");
+  EXPECT_EQ(map.status, 200);
+  EXPECT_EQ(map.body, round_section(baseline_csv(), kRounds - 1));
+
+  EXPECT_EQ(terminate_vpd(pid), 0);
+  std::remove(port_file.c_str());
+}
+
+TEST(DaemonSoak, VpdJournalCompletesUnderVpctl) {
+  // Journal interchangeability, daemon -> batch: a journal produced by
+  // the daemon (same 5-round budget, killed after round 1's append
+  // landed intact) resumes under vpctl campaign, which completes it and
+  // writes the same artifact as its own uninterrupted run.
+  ASSERT_FALSE(baseline_csv().empty());
+  const std::string journal = test_dir() + "/handoff.journal";
+  const std::string csv = test_dir() + "/handoff.csv";
+  EXPECT_EQ(run_blocking(VPD_PATH,
+                         kCommon + " --rounds " + std::to_string(kRounds) +
+                             " --journal " + journal + " --exit-after-rounds",
+                         "VP_JOURNAL_CRASH_AT=3 "),
+            kKilledExit);
+  constexpr int kResumedExit = 3;  // vpctl's "resumed from journal" code
+  EXPECT_EQ(run_blocking(VPCTL_PATH,
+                         "campaign " + kCommon + " --rounds " +
+                             std::to_string(kRounds) + " --journal " +
+                             journal + " --resume --out " + csv),
+            kResumedExit);
+  EXPECT_EQ(read_file(csv), baseline_csv());
+  std::remove(journal.c_str());
+  std::remove(csv.c_str());
+}
+
+}  // namespace
+}  // namespace vp

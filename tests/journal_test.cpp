@@ -4,6 +4,7 @@
 // kill-point harness lives in crash_recovery_test.cpp.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -134,6 +135,36 @@ TEST(Journal, TornManifestStartsFresh) {
     journal.close();
   }
   std::remove(path.c_str());
+}
+
+TEST(Journal, EmptyFileResumesExactlyLikeMissing) {
+  // The explicit 0-byte == missing contract: an empty journal is the
+  // fingerprint of a crash before the manifest write, so a resume finds
+  // no state to validate, reports kFresh, and recreates the file —
+  // byte-for-byte the same outcome as resuming a path that never existed.
+  const std::string missing = temp_path("missing");
+  const std::string empty = temp_path("empty");
+  std::remove(missing.c_str());
+  write_file(empty, "");
+  ASSERT_EQ(read_file(empty).size(), 0u);
+
+  std::string contents[2];
+  int i = 0;
+  for (const std::string& path : {missing, empty}) {
+    CampaignJournal journal;
+    const auto opened = journal.open(path, kManifest, true);
+    EXPECT_EQ(opened.status, JournalStatus::kFresh) << path;
+    EXPECT_TRUE(opened.completed.empty()) << path;
+    EXPECT_EQ(opened.truncated_bytes, 0u) << path;
+    // The recreated journal accepts appends like any fresh one.
+    EXPECT_TRUE(journal.append_round(0, synthetic_round(0))) << path;
+    journal.close();
+    contents[i++] = read_file(path);
+  }
+  EXPECT_FALSE(contents[0].empty());
+  EXPECT_EQ(contents[0], contents[1]);
+  std::remove(missing.c_str());
+  std::remove(empty.c_str());
 }
 
 TEST(Journal, BitFlipInRecordBodyIsRejected) {
@@ -280,6 +311,60 @@ TEST_F(JournaledCampaignTest, ConcurrentResumeMatchesSequential) {
   EXPECT_EQ(concurrent.journal, JournalStatus::kResumed);
   for (std::size_t r = 0; r < fresh.results.size(); ++r)
     expect_equal(concurrent.results[r], fresh.results[r]);
+  std::remove(path.c_str());
+}
+
+TEST_F(JournaledCampaignTest, PreSetCancelFlagRunsNothing) {
+  const std::string path = temp_path("campaign");
+  std::atomic<bool> flag{true};
+  auto campaign = make_campaign();
+  auto cancelled = campaign.cancel(&flag).run_reported();
+  EXPECT_TRUE(cancelled.interrupted);
+  EXPECT_EQ(cancelled.journal, JournalStatus::kFresh);
+  for (const RoundResult& result : cancelled.results)
+    EXPECT_EQ(result.map.blocks_probed, 0u);
+  // The manifest-only journal is a valid (empty) prefix: a later resume
+  // finishes the campaign as if nothing had happened.
+  auto finished = make_campaign().resume().run_reported();
+  EXPECT_FALSE(finished.interrupted);
+  EXPECT_EQ(finished.journal, JournalStatus::kResumed);
+  EXPECT_EQ(finished.rounds_loaded, 0u);
+  EXPECT_EQ(finished.rounds_executed, 4u);
+  std::remove(path.c_str());
+}
+
+TEST_F(JournaledCampaignTest, CancelMidRunLeavesResumablePrefix) {
+  const std::string path = temp_path("campaign");
+  const auto fresh = make_campaign().run_reported();
+  std::remove(path.c_str());
+
+  // Cancel as soon as the first round completes: the in-flight round and
+  // its journal append finish, later rounds never start.
+  std::atomic<bool> flag{false};
+  struct CancelAfterFirst : RoundObserver {
+    std::atomic<bool>* flag;
+    void on_round_complete(const RoundSpec&, const RoundResult&) override {
+      flag->store(true, std::memory_order_relaxed);
+    }
+  } observer;
+  observer.flag = &flag;
+  auto campaign = make_campaign();
+  const auto cancelled =
+      campaign.cancel(&flag).observe(observer).run_reported();
+  EXPECT_TRUE(cancelled.interrupted);
+  ASSERT_EQ(cancelled.results.size(), 4u);
+  expect_equal(cancelled.results[0], fresh.results[0]);
+  EXPECT_EQ(cancelled.results[1].map.blocks_probed, 0u);
+
+  // The journal holds exactly the completed prefix; resuming it finishes
+  // the campaign bit-identically to the uninterrupted run.
+  const auto resumed = make_campaign().resume().run_reported();
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.journal, JournalStatus::kResumed);
+  EXPECT_EQ(resumed.rounds_loaded, 1u);
+  EXPECT_EQ(resumed.rounds_executed, 3u);
+  for (std::size_t r = 0; r < fresh.results.size(); ++r)
+    expect_equal(resumed.results[r], fresh.results[r]);
   std::remove(path.c_str());
 }
 

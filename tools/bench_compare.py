@@ -48,6 +48,11 @@ faster than rerouting from scratch. Also preserved verbatim by --update.
             size. Same-run ratios, so runner speed cancels out.
 
 Also preserved verbatim by --update.
+
+"serve_gates" gates the daemon serving path from bench_serve (DESIGN.md
+§15) with the same absolute-counter form: /block lookups/s on an idle
+daemon and while a measurement round is running must both stay above the
+100k/s bar. Preserved verbatim by --update as well.
 """
 import argparse
 import json
@@ -211,7 +216,8 @@ def main():
         try:  # the speedup gates are hand-set; carry them through refreshes
             with open(args.baseline) as f:
                 old = json.load(f)
-            for section in ("cache_gates", "delta_gates", "scale_gates"):
+            for section in ("cache_gates", "delta_gates", "scale_gates",
+                            "serve_gates"):
                 if old.get(section):
                     doc[section] = old[section]
         except (OSError, json.JSONDecodeError):
@@ -255,12 +261,13 @@ def main():
         if ratio < need:
             failures.append(f"{name} delta speedup {ratio:.1f}x < {need:g}x")
 
-    for name, desc, ok in scale_gate_rows(current,
-                                          doc.get("scale_gates", {})):
-        status = "ok" if ok else "FAIL"
-        print(f"{status:5} {name}: {desc}")
-        if not ok:
-            failures.append(f"{name}: {desc}")
+    for section in ("scale_gates", "serve_gates"):
+        for name, desc, ok in scale_gate_rows(current,
+                                              doc.get(section, {})):
+            status = "ok" if ok else "FAIL"
+            print(f"{status:5} {name}: {desc}")
+            if not ok:
+                failures.append(f"{name}: {desc}")
 
     print(f"\n{len(failures)} failure(s), {len(warnings)} warning(s), "
           f"{len(current)} benchmark(s) compared")
