@@ -15,6 +15,10 @@
 //   vpctl export-load [--date apr|may] [--out load.csv]
 //   vpctl gen       [--gen-ases N] [--gen-blocks N] [--out topo.vpt]
 //                   [--load topo.vpt] [--probe]
+//   vpctl playbook  [--attack KINDS] [--attack-seed N] [--magnitude F]
+//                   [--target SITE] [--headroom F] [--max-prepend N]
+//                   [--no-withdraw] [--exhaustive] [--top K]
+//                   [--out playbook.csv|.json]
 //
 // Global flags: --scale F (Internet size, default 0.4), --seed N,
 // --threads N (probe workers per round; 0 = all hardware threads).
@@ -31,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include "agility/attack.hpp"
+#include "agility/playbook.hpp"
 #include "analysis/coverage.hpp"
 #include "analysis/latency.hpp"
 #include "obs/export.hpp"
@@ -76,7 +82,8 @@ struct Args {
 /// Flags that take no value.
 bool is_boolean_flag(std::string_view key) {
   return key == "resume" || key == "no-metrics" || key == "no-route-cache" ||
-         key == "delta-sweep" || key == "probe";
+         key == "delta-sweep" || key == "probe" || key == "no-withdraw" ||
+         key == "exhaustive";
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -134,6 +141,8 @@ int usage() {
       "  recommend    suggest new site locations from measured RTTs\n"
       "  export-load  write the per-block query-log dataset as CSV\n"
       "  gen          build an Internet with the sharded scale generator\n"
+      "  playbook     search TE responses to attack workloads (Agility\n"
+      "               style): best prepend/withdraw config per attack\n"
       "\n"
       "common options:\n"
       "  --scale F          Internet size multiplier (default 0.4 ~ 48k /24s)\n"
@@ -205,7 +214,26 @@ int usage() {
       "  --load FILE        load a saved topology instead of generating\n"
       "  --probe            run one Verfploeter round over the generated\n"
       "                     Internet (generated deployment at the transit\n"
-      "                     core) and print the catchment split\n");
+      "                     core) and print the catchment split\n"
+      "playbook options:\n"
+      "  --attack KINDS     comma list of polarized,flash,spoofed,\n"
+      "                     volumetric (default: all four)\n"
+      "  --attack-seed N    attack workload seed (default 1)\n"
+      "  --magnitude F      attack volume as a multiple of the baseline\n"
+      "                     load (default 4.0)\n"
+      "  --target SITE      catchment the targeted attacks concentrate\n"
+      "                     in (default: seed-chosen enabled site)\n"
+      "  --headroom F       per-site capacity = F x fair share of the\n"
+      "                     legitimate baseline (default 1.6)\n"
+      "  --max-prepend N    prepend depths searched, 0..N (default 3)\n"
+      "  --no-withdraw      exclude site withdrawal from the search\n"
+      "  --exhaustive       search the full per-site action product\n"
+      "                     instead of the staged single+pair search\n"
+      "  --top K            ranked responses kept per attack (default 5)\n"
+      "  --date apr|may     load dataset for baseline + capacity\n"
+      "  --out FILE         write the playbook (.json = JSON, else CSV)\n"
+      "  (--no-route-cache re-routes every candidate from scratch instead\n"
+      "   of the incremental delta session; results are identical)\n");
   return 2;
 }
 
@@ -763,6 +791,192 @@ int cmd_gen(const Args& args) {
   return 0;
 }
 
+std::string playbook_csv(const agility::Playbook& playbook,
+                         const anycast::Deployment& deployment) {
+  std::ostringstream out;
+  out << "attack,kind,seed,magnitude,target,rank,response,absorbed_frac,"
+         "broken_frac,overloaded_sites,shifted_blocks,offered_qday,"
+         "configs_evaluated\n";
+  for (const agility::PlaybookEntry& entry : playbook.entries) {
+    const std::string target =
+        entry.target >= 0 &&
+                static_cast<std::size_t>(entry.target) <
+                    deployment.sites.size()
+            ? deployment.sites[static_cast<std::size_t>(entry.target)].code
+            : "-";
+    const auto row = [&](std::size_t rank, const std::string& label,
+                         const agility::Score& score) {
+      out << entry.attack_label << ',' << agility::to_string(entry.attack.kind)
+          << ',' << entry.attack.seed << ','
+          << util::fixed(entry.attack.magnitude, 2) << ',' << target << ','
+          << rank << ',' << label << ','
+          << util::fixed(score.absorbed_fraction(entry.offered_milliq), 6)
+          << ','
+          << util::fixed(score.broken_fraction(entry.offered_milliq), 6)
+          << ',' << score.overloaded_sites << ',' << score.shifted_blocks
+          << ',' << entry.offered_milliq / 1000 << ','
+          << entry.configs_evaluated << '\n';
+    };
+    row(0, "no action", entry.no_action);
+    for (std::size_t r = 0; r < entry.responses.size(); ++r)
+      row(r + 1, entry.responses[r].candidate.label,
+          entry.responses[r].score);
+  }
+  return out.str();
+}
+
+std::string playbook_json(const agility::Playbook& playbook,
+                          const anycast::Deployment& deployment) {
+  std::ostringstream out;
+  const auto score_json = [&](const agility::Score& score,
+                              std::uint64_t offered) {
+    std::ostringstream s;
+    s << "{\"absorbed_frac\": "
+      << util::fixed(score.absorbed_fraction(offered), 6)
+      << ", \"broken_frac\": " << util::fixed(score.broken_fraction(offered), 6)
+      << ", \"overloaded_sites\": " << score.overloaded_sites
+      << ", \"shifted_blocks\": " << score.shifted_blocks << "}";
+    return s.str();
+  };
+  out << "{\n  \"deployment\": \"" << deployment.name << "\",\n"
+      << "  \"entries\": [\n";
+  for (std::size_t e = 0; e < playbook.entries.size(); ++e) {
+    const agility::PlaybookEntry& entry = playbook.entries[e];
+    const std::string target =
+        entry.target >= 0 &&
+                static_cast<std::size_t>(entry.target) <
+                    deployment.sites.size()
+            ? deployment.sites[static_cast<std::size_t>(entry.target)].code
+            : "";
+    out << "    {\"attack\": \"" << entry.attack_label << "\", \"kind\": \""
+        << agility::to_string(entry.attack.kind) << "\", \"seed\": "
+        << entry.attack.seed << ", \"target\": \"" << target
+        << "\", \"offered_qday\": " << entry.offered_milliq / 1000
+        << ", \"configs_evaluated\": " << entry.configs_evaluated
+        << ",\n     \"no_action\": "
+        << score_json(entry.no_action, entry.offered_milliq)
+        << ",\n     \"responses\": [\n";
+    for (std::size_t r = 0; r < entry.responses.size(); ++r) {
+      out << "       {\"rank\": " << r + 1 << ", \"response\": \""
+          << entry.responses[r].candidate.label << "\", \"score\": "
+          << score_json(entry.responses[r].score, entry.offered_milliq)
+          << '}' << (r + 1 < entry.responses.size() ? "," : "") << '\n';
+    }
+    out << "     ]}" << (e + 1 < playbook.entries.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+int cmd_playbook(const Args& args) {
+  const auto scenario = make_scenario(args);
+  const auto& deployment = pick_deployment(scenario, args);
+
+  agility::PlaybookConfig config;
+  config.max_prepend = static_cast<int>(args.get_long("max-prepend", 3));
+  config.allow_withdraw = !args.has("no-withdraw");
+  config.strategy = args.has("exhaustive")
+                        ? agility::SearchStrategy::kExhaustive
+                        : agility::SearchStrategy::kStaged;
+  config.threads = static_cast<unsigned>(args.get_long("threads", 1));
+  // The A/B escape hatch reaches the optimizer too: without the route
+  // cache every candidate is routed and scored from scratch. The
+  // playbook is bit-identical either way (cli_exit_test proves it).
+  config.use_delta = !args.has("no-route-cache");
+  config.capacity_headroom = args.get_double("headroom", 1.6);
+  config.top_k = static_cast<std::size_t>(args.get_long("top", 5));
+
+  anycast::SiteId target = anycast::kUnknownSite;
+  if (args.has("target")) {
+    const std::string code = args.get("target", "");
+    const auto site = deployment.site_by_code(code);
+    if (!site) {
+      std::fprintf(stderr, "error: deployment has no site '%s'\n",
+                   code.c_str());
+      return usage();
+    }
+    target = *site;
+  }
+
+  std::vector<agility::AttackSpec> attacks;
+  {
+    const std::string list =
+        args.get("attack", "polarized,flash,spoofed,volumetric");
+    std::istringstream stream{list};
+    std::string name;
+    while (std::getline(stream, name, ',')) {
+      const auto kind = agility::attack_kind_from_string(name);
+      if (!kind) {
+        std::fprintf(stderr, "error: unknown attack kind '%s'\n",
+                     name.c_str());
+        return usage();
+      }
+      agility::AttackSpec spec;
+      spec.kind = *kind;
+      spec.seed = static_cast<std::uint64_t>(args.get_long("attack-seed", 1));
+      spec.magnitude = args.get_double("magnitude", 4.0);
+      spec.target_site = target;
+      attacks.push_back(spec);
+    }
+    if (attacks.empty()) return usage();
+  }
+
+  const agility::PlaybookOptimizer optimizer{scenario, deployment, config,
+                                             load_date_seed(args)};
+  std::printf("searching %s responses (%s, max prepend %d%s)\n",
+              deployment.name.c_str(),
+              config.strategy == agility::SearchStrategy::kExhaustive
+                  ? "exhaustive"
+                  : "staged",
+              config.max_prepend,
+              config.allow_withdraw ? ", withdrawal allowed" : "");
+  const agility::Playbook playbook = optimizer.build(attacks);
+
+  for (const agility::PlaybookEntry& entry : playbook.entries) {
+    std::printf("\n%s: offered %s q/day (attack %s), %zu configs in %s ms\n",
+                entry.attack_label.c_str(),
+                util::si_count(static_cast<double>(entry.offered_milliq) /
+                               1000.0)
+                    .c_str(),
+                util::si_count(static_cast<double>(entry.attack_milliq) /
+                               1000.0)
+                    .c_str(),
+                entry.configs_evaluated,
+                util::fixed(entry.search_ms, 1).c_str());
+    util::Table table{{"rank", "response", "absorbed", "broken",
+                       "overloaded", "shifted blocks"},
+                      {util::Align::kRight, util::Align::kLeft}};
+    const auto row = [&](const std::string& rank, const std::string& label,
+                         const agility::Score& score) {
+      table.add_row(
+          {rank, label,
+           util::percent(score.absorbed_fraction(entry.offered_milliq)),
+           util::percent(score.broken_fraction(entry.offered_milliq)),
+           std::to_string(score.overloaded_sites),
+           util::with_commas(score.shifted_blocks)});
+    };
+    row("-", "no action", entry.no_action);
+    for (std::size_t r = 0; r < entry.responses.size(); ++r)
+      row(std::to_string(r + 1), entry.responses[r].candidate.label,
+          entry.responses[r].score);
+    std::printf("%s", table.to_string().c_str());
+  }
+
+  if (args.has("out")) {
+    const std::string path = args.get("out", "playbook.csv");
+    const bool json = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+    const std::string contents = json ? playbook_json(playbook, deployment)
+                                      : playbook_csv(playbook, deployment);
+    if (!util::atomic_write_file(path, contents)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return kExitWriteFailed;
+    }
+    std::printf("\nplaybook written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int dispatch(const Args& args) {
   if (args.command == "scan") return cmd_scan(args);
   if (args.command == "sweep") return cmd_sweep(args);
@@ -772,6 +986,7 @@ int dispatch(const Args& args) {
   if (args.command == "recommend") return cmd_recommend(args);
   if (args.command == "export-load") return cmd_export_load(args);
   if (args.command == "gen") return cmd_gen(args);
+  if (args.command == "playbook") return cmd_playbook(args);
   return usage();
 }
 

@@ -113,19 +113,24 @@ void RoutingTable::index_spray(AsId as) {
   const AsRoutingState& state = *states_[as];
   std::uint8_t flags = 0;
   if (topo_->as_at(as).multipath && state.multi_site()) {
-    // The engine's reduce step caps candidate sets at kMaxTiedRoutes;
-    // hand-built states must honor the same bound.
-    assert(state.candidates.size() <= kMaxTiedRoutes);
-    const auto count = static_cast<std::uint8_t>(
-        std::min(state.candidates.size(), kMaxTiedRoutes));
-    flags = static_cast<std::uint8_t>(kSprayFlag | (count << 4));
-    if (spray_sites_.empty()) {
-      spray_sites_.assign(states_.size() * kMaxTiedRoutes,
-                          anycast::kUnknownSite);
+    if (state.candidates.size() <= kMaxTiedRoutes) {
+      const auto count = static_cast<std::uint8_t>(state.candidates.size());
+      flags = static_cast<std::uint8_t>(kSprayFlag | (count << 4));
+      if (spray_sites_.empty()) {
+        spray_sites_.assign(states_.size() * kMaxTiedRoutes,
+                            anycast::kUnknownSite);
+      }
+      SiteId* row = &spray_sites_[as * kMaxTiedRoutes];
+      for (std::uint8_t k = 0; k < count; ++k)
+        row[k] = state.candidates[k].site;
+    } else {
+      // The engine's reduce step caps candidate sets at kMaxTiedRoutes,
+      // but hand-built states can tie more sites than the fixed-width
+      // row holds (route_cache_test's 40-site deployment). A zero count
+      // marks them: the lookup chases the shared state instead, so no
+      // tied site is silently truncated away.
+      flags = kSprayFlag;
     }
-    SiteId* row = &spray_sites_[as * kMaxTiedRoutes];
-    for (std::uint8_t k = 0; k < count; ++k)
-      row[k] = state.candidates[k].site;
   }
   as_flags_[as] = flags;
 }
@@ -212,7 +217,13 @@ SiteId RoutingTable::site_for_block(const topology::BlockInfo& info) const {
     const std::uint64_t h = util::hash_combine(
         util::hash_combine(util::mix64(0x6d70617468), epoch_salt_),
         info.block.index());
-    return spray_sites_[info.as_id * kMaxTiedRoutes + h % (flags >> 4)];
+    const std::uint8_t count = flags >> 4;
+    if (count != 0) [[likely]]
+      return spray_sites_[info.as_id * kMaxTiedRoutes + h % count];
+    // Wide tie set (count 0 sentinel): the fixed row can't hold it;
+    // spray over the full candidate list in the shared state.
+    const auto& candidates = states_[info.as_id]->candidates;
+    return candidates[h % candidates.size()].site;
   }
   return pop_sites_[(*pop_offsets_)[info.as_id] + info.pop];
 }

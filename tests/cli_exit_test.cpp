@@ -94,6 +94,29 @@ TEST(CliExit, WritablePathsExitZeroAndLeaveArtifacts) {
   EXPECT_TRUE(file_exists(prom));
 }
 
+TEST(CliExit, PlaybookOutUnwritableExits6) {
+  EXPECT_EQ(run_vpctl("playbook --scale 0.03 --attack polarized --top 2 "
+                      "--out " +
+                      unwritable("p.csv")),
+            kWriteFailedExit);
+}
+
+TEST(CliExit, PlaybookNoRouteCacheIsByteIdentical) {
+  // --no-route-cache reaches the optimizer path: every candidate is
+  // routed and scored from scratch instead of through the incremental
+  // delta session. The artifact must not change by a byte.
+  const std::string cached = test_dir() + "/playbook_cached.csv";
+  const std::string uncached = test_dir() + "/playbook_uncached.csv";
+  const std::string common =
+      "playbook --scale 0.03 --attack polarized,spoofed --magnitude 2 "
+      "--max-prepend 2 --top 4 --threads 2 ";
+  ASSERT_EQ(run_vpctl(common + "--out " + cached), 0);
+  ASSERT_EQ(run_vpctl(common + "--no-route-cache --out " + uncached), 0);
+  const std::string a = read_file(cached);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, read_file(uncached));
+}
+
 TEST(CliExit, JournalUnwritableMidCampaignExits6) {
   // VP_JOURNAL_FAIL_AT=2 fails every frame write from the first round
   // append on — the signature of the journal directory going unwritable

@@ -1,0 +1,67 @@
+// The playbook must be a pure function of (scenario, deployment, config
+// minus threads, attacks): the parallel candidate-evaluation pool may
+// not change a single bit of the result at any worker count. Each worker
+// walks its own delta session over a deterministic chunk, and the
+// integer scoring makes every sum order-independent, so thread counts
+// 1/2/5/8 must agree exactly. This test is also raced under TSan in CI
+// (the tsan lane regex) to catch data races in the shared-table reads.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "agility/attack.hpp"
+#include "agility/playbook.hpp"
+#include "analysis/scenario.hpp"
+
+namespace vp::agility {
+namespace {
+
+TEST(PlaybookDeterminism, IdenticalAcrossThreadCounts) {
+  analysis::ScenarioConfig scenario_config;
+  scenario_config.scale = 0.04;
+  const analysis::Scenario scenario{scenario_config};
+
+  std::vector<AttackSpec> attacks;
+  AttackSpec polarized;
+  polarized.kind = AttackKind::kPolarized;
+  attacks.push_back(polarized);
+  AttackSpec spoofed;
+  spoofed.kind = AttackKind::kSpoofedFlood;
+  attacks.push_back(spoofed);
+
+  std::vector<Playbook> playbooks;
+  for (const unsigned threads : {1u, 2u, 5u, 8u}) {
+    PlaybookConfig config;
+    config.strategy = SearchStrategy::kStaged;
+    config.threads = threads;
+    const PlaybookOptimizer optimizer{scenario, scenario.tangled(), config};
+    playbooks.push_back(optimizer.build(attacks));
+  }
+
+  const Playbook& reference = playbooks.front();
+  for (std::size_t p = 1; p < playbooks.size(); ++p) {
+    const Playbook& other = playbooks[p];
+    ASSERT_EQ(reference.entries.size(), other.entries.size());
+    EXPECT_EQ(reference.capacity.site_milliq, other.capacity.site_milliq);
+    for (std::size_t e = 0; e < reference.entries.size(); ++e) {
+      const PlaybookEntry& a = reference.entries[e];
+      const PlaybookEntry& b = other.entries[e];
+      EXPECT_EQ(a.attack_label, b.attack_label);
+      EXPECT_EQ(a.offered_milliq, b.offered_milliq);
+      EXPECT_EQ(a.attack_milliq, b.attack_milliq);
+      EXPECT_EQ(a.configs_evaluated, b.configs_evaluated);
+      EXPECT_EQ(a.no_action, b.no_action);
+      ASSERT_EQ(a.responses.size(), b.responses.size());
+      for (std::size_t r = 0; r < a.responses.size(); ++r) {
+        EXPECT_EQ(a.responses[r].candidate_index,
+                  b.responses[r].candidate_index);
+        EXPECT_EQ(a.responses[r].candidate.label,
+                  b.responses[r].candidate.label);
+        EXPECT_EQ(a.responses[r].score, b.responses[r].score);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vp::agility

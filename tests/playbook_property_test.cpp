@@ -1,0 +1,140 @@
+// PlaybookOptimizer correctness properties (ISSUE 9 acceptance):
+//
+//  1. The playbook's chosen response equals the argmin of an exhaustive
+//     sweep whose every candidate is routed and scored independently
+//     through the reference path (Scenario::route + score_table) — on
+//     small scenarios, across three attack seeds.
+//  2. Delta-evaluated scores are bit-identical to full-recompute scores:
+//     the whole ranked response list (use_delta = true vs false) matches
+//     Score-for-Score under operator==, for every attack kind, on both
+//     the exhaustive and the staged search.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "agility/attack.hpp"
+#include "agility/playbook.hpp"
+#include "analysis/scenario.hpp"
+
+namespace vp::agility {
+namespace {
+
+const analysis::Scenario& shared_scenario() {
+  static const analysis::Scenario* scenario = [] {
+    analysis::ScenarioConfig config;
+    config.scale = 0.04;
+    return new analysis::Scenario{config};
+  }();
+  return *scenario;
+}
+
+constexpr std::uint64_t kDate = 0x20170515ull;
+
+AttackSpec spec_for_seed(std::uint64_t seed) {
+  AttackSpec spec;
+  // Rotate the kind with the seed so the three runs cover different
+  // generator paths too.
+  constexpr AttackKind kKinds[] = {AttackKind::kPolarized,
+                                   AttackKind::kVolumetric,
+                                   AttackKind::kSpoofedFlood};
+  spec.kind = kKinds[seed % 3];
+  spec.seed = seed;
+  spec.magnitude = 2.5;
+  return spec;
+}
+
+TEST(PlaybookProperty, ExhaustiveSearchEqualsReferenceArgmin) {
+  const analysis::Scenario& scenario = shared_scenario();
+  const anycast::Deployment& base = scenario.broot();
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    PlaybookConfig config;
+    config.strategy = SearchStrategy::kExhaustive;
+    config.max_prepend = 2;
+    config.threads = 2;
+    const PlaybookOptimizer optimizer{scenario, base, config, kDate};
+    const AttackSpec attack = spec_for_seed(seed);
+
+    // Reference sweep: every candidate routed independently through the
+    // scenario (full computation path) and scored by the one-shot
+    // reference scorer; argmin by the optimizer's own order.
+    const dnsload::LoadModel load = scenario.broot_load(kDate);
+    const auto base_table = scenario.route(base);
+    const OfferedLoad offered =
+        offered_load(scenario.topo(), load, *base_table, attack);
+    const std::vector<Candidate> candidates = optimizer.enumerate_candidates();
+    ASSERT_GT(candidates.size(), 4u);
+    std::vector<Score> reference;
+    for (const Candidate& candidate : candidates) {
+      anycast::Deployment target = base;
+      candidate.delta.apply_to(target);
+      reference.push_back(
+          optimizer.score_table(*scenario.route(target), offered));
+    }
+    std::size_t argmin = 0;
+    for (std::size_t i = 1; i < reference.size(); ++i)
+      if (better(reference[i], i, reference[argmin], argmin)) argmin = i;
+
+    const PlaybookEntry entry = optimizer.respond(attack);
+    ASSERT_FALSE(entry.responses.empty());
+    EXPECT_EQ(entry.best().candidate_index, argmin) << "seed " << seed;
+    EXPECT_EQ(entry.best().score, reference[argmin]) << "seed " << seed;
+    EXPECT_EQ(entry.configs_evaluated, candidates.size());
+    // Every ranked response's score must equal its reference score — the
+    // delta-session evaluation is bit-identical to the reference path.
+    for (const RankedResponse& response : entry.responses)
+      EXPECT_EQ(response.score, reference[response.candidate_index])
+          << "seed " << seed << " candidate " << response.candidate_index;
+  }
+}
+
+void expect_same_playbook(const Playbook& a, const Playbook& b) {
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t e = 0; e < a.entries.size(); ++e) {
+    const PlaybookEntry& ea = a.entries[e];
+    const PlaybookEntry& eb = b.entries[e];
+    EXPECT_EQ(ea.offered_milliq, eb.offered_milliq);
+    EXPECT_EQ(ea.configs_evaluated, eb.configs_evaluated);
+    EXPECT_EQ(ea.no_action, eb.no_action);
+    ASSERT_EQ(ea.responses.size(), eb.responses.size());
+    for (std::size_t r = 0; r < ea.responses.size(); ++r) {
+      EXPECT_EQ(ea.responses[r].candidate_index,
+                eb.responses[r].candidate_index);
+      EXPECT_EQ(ea.responses[r].candidate.label, eb.responses[r].candidate.label);
+      EXPECT_EQ(ea.responses[r].score, eb.responses[r].score);
+    }
+  }
+}
+
+TEST(PlaybookProperty, DeltaScoresBitIdenticalToFullRecompute) {
+  const analysis::Scenario& scenario = shared_scenario();
+  std::vector<AttackSpec> attacks;
+  for (const AttackKind kind :
+       {AttackKind::kPolarized, AttackKind::kFlashCrowd,
+        AttackKind::kSpoofedFlood, AttackKind::kVolumetric}) {
+    AttackSpec spec;
+    spec.kind = kind;
+    attacks.push_back(spec);
+  }
+  // Staged search on the nine-site Tangled deployment (the production
+  // shape) and exhaustive on B-Root; both must be invariant to the
+  // evaluation path.
+  for (const bool exhaustive : {false, true}) {
+    PlaybookConfig delta_config;
+    delta_config.strategy = exhaustive ? SearchStrategy::kExhaustive
+                                       : SearchStrategy::kStaged;
+    delta_config.max_prepend = 2;
+    delta_config.threads = 2;
+    delta_config.use_delta = true;
+    PlaybookConfig full_config = delta_config;
+    full_config.use_delta = false;
+    const anycast::Deployment& base =
+        exhaustive ? scenario.broot() : scenario.tangled();
+    const PlaybookOptimizer with_delta{scenario, base, delta_config, kDate};
+    const PlaybookOptimizer with_full{scenario, base, full_config, kDate};
+    expect_same_playbook(with_delta.build(attacks), with_full.build(attacks));
+  }
+}
+
+}  // namespace
+}  // namespace vp::agility

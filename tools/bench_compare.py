@@ -35,6 +35,12 @@ absolute-time band. --update preserves the section verbatim.
 bench_delta_routing — e.g. a one-site prepend delta must stay >= 10x
 faster than rerouting from scratch. Also preserved verbatim by --update.
 
+"agility_gates" is the same slow/fast ratio form over bench_playbook
+(DESIGN.md §16): the delta-session playbook search must stay the gated
+factor faster than per-candidate full recomputation, both on one site's
+prepend menu and on the 28-config staged sweep. Preserved verbatim by
+--update.
+
 "scale_gates" gates user counters from bench_scale_sweep (DESIGN.md
 §14). Two forms:
 
@@ -216,8 +222,8 @@ def main():
         try:  # the speedup gates are hand-set; carry them through refreshes
             with open(args.baseline) as f:
                 old = json.load(f)
-            for section in ("cache_gates", "delta_gates", "scale_gates",
-                            "serve_gates"):
+            for section in ("cache_gates", "delta_gates", "agility_gates",
+                            "scale_gates", "serve_gates"):
                 if old.get(section):
                     doc[section] = old[section]
         except (OSError, json.JSONDecodeError):
@@ -260,6 +266,15 @@ def main():
               f"full recompute (gate >= {need:g}x, same-run ratio)")
         if ratio < need:
             failures.append(f"{name} delta speedup {ratio:.1f}x < {need:g}x")
+
+    for name, ratio, need in cache_speedups(current,
+                                            doc.get("agility_gates", {})):
+        status = "ok" if ratio >= need else "FAIL"
+        print(f"{status:5} {name}: delta-session playbook search {ratio:.1f}x "
+              f"faster than full recompute (gate >= {need:g}x, "
+              f"same-run ratio)")
+        if ratio < need:
+            failures.append(f"{name} search speedup {ratio:.1f}x < {need:g}x")
 
     for section in ("scale_gates", "serve_gates"):
         for name, desc, ok in scale_gate_rows(current,
