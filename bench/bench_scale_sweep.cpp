@@ -22,6 +22,7 @@
 #include "sim/internet.hpp"
 #include "topology/scale_generator.hpp"
 #include "util/rng.hpp"
+#include "util/round_arena.hpp"
 
 using namespace vp;
 
@@ -104,11 +105,16 @@ void BM_ScaleProbeRound(benchmark::State& state) {
   const ScaleWorld& world = world_for(blocks);
   std::uint64_t probed = 0;
   std::uint32_t round = 0;
+  // Rounds share one arena, exactly as a campaign or the daemon would:
+  // iteration 1 pays the cold allocations, the steady state we measure
+  // (and gate) is the arena-warm round.
+  util::RoundArena arena;
   for (auto _ : state) {
     core::RoundSpec spec;
     spec.probe.measurement_id = 9600 + round;
     spec.round = round++;
     spec.threads = 0;  // all hardware threads
+    spec.arena = &arena;
     const auto result = world.verfploeter->run(*world.routes, spec);
     probed = result.map.blocks_probed;
     benchmark::DoNotOptimize(probed);

@@ -4,10 +4,13 @@
 #include <atomic>
 #include <mutex>
 
+#include <memory>
+
 #include "core/verfploeter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/rng.hpp"
+#include "util/round_arena.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vp::core {
@@ -87,12 +90,35 @@ CampaignReport Campaign::run_reported() const {
     }
     return false;
   };
+  // Cross-round arena pool: one arena per in-flight round, checked out
+  // for the duration of a round and returned afterwards, so round N+1
+  // starts with round N's capacities instead of cold allocations. The
+  // arena is attached here — NOT in spec_for() — because it is a pure
+  // performance knob: specs stay value types, and the campaign
+  // fingerprint (and therefore journal resume) is unaffected.
+  std::mutex arena_mutex;
+  std::vector<std::unique_ptr<util::RoundArena>> arena_pool;
+  const auto acquire_arena = [&] {
+    std::lock_guard lock{arena_mutex};
+    if (arena_pool.empty()) return std::make_unique<util::RoundArena>();
+    auto arena = std::move(arena_pool.back());
+    arena_pool.pop_back();
+    return arena;
+  };
+  const auto release_arena = [&](std::unique_ptr<util::RoundArena> arena) {
+    std::lock_guard lock{arena_mutex};
+    arena_pool.push_back(std::move(arena));
+  };
   const auto run_one = [&](std::uint32_t r) {
     // Wall time of the round INCLUDING its journal append, as the
     // campaign experiences it (the engine's vp_engine_round_ms excludes
     // the append; the spread between the two is the durability tax).
     obs::Span span{&round_wall};
-    RoundResult result = engine_->run(*routes_, spec_for(r), observer_);
+    auto arena = acquire_arena();
+    RoundSpec spec = spec_for(r);
+    spec.arena = arena.get();
+    RoundResult result = engine_->run(*routes_, spec, observer_);
+    release_arena(std::move(arena));
     if (journal.is_open()) {
       std::lock_guard lock{journal_mutex};
       if (!journal.append_round(r, result)) append_ok = false;

@@ -42,6 +42,10 @@ class CatchmentMap {
     sites_.emplace(block, site);
   }
 
+  /// Pre-sizes the map for `n` blocks so the cleaning loop's inserts
+  /// never rehash mid-round.
+  void reserve(std::size_t n) { sites_.reserve(n); }
+
   std::size_t mapped_blocks() const { return sites_.size(); }
 
   const std::unordered_map<net::Block24, anycast::SiteId>& entries() const {

@@ -26,6 +26,62 @@ struct ReplyRecord {
   util::SimTime tx_time;
 };
 
+/// Structure-of-arrays reply accumulator for the probe engine's hot path:
+/// one per (shard, site), columns pre-sized from the shard's block count
+/// and reused across rounds via the engine's arena, so steady-state
+/// appends never allocate and each column streams sequentially through
+/// cache (an AoS ReplyRecord push touches a 48-byte stride per reply).
+/// `key` is the probe's GLOBAL index in the round's probe order and `seq`
+/// the per-probe delivery counter, in append order across attempts —
+/// together they let the merge reproduce the legacy shard-concat order
+/// with one comparison-based sort (see probe_engine.cpp).
+struct ReplyBuffer {
+  std::vector<std::int64_t> arrival_usec;
+  std::vector<std::int64_t> tx_usec;
+  std::vector<std::uint64_t> key;
+  std::vector<std::uint32_t> source;
+  std::vector<std::uint32_t> measurement_id;
+  std::vector<std::uint16_t> seq;
+  std::uint64_t malformed = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t bytes_received = 0;
+
+  std::size_t size() const { return arrival_usec.size(); }
+
+  void push(std::int64_t arrival, std::int64_t tx, std::uint64_t probe_key,
+            std::uint32_t src, std::uint32_t mid, std::uint16_t delivery_seq) {
+    arrival_usec.push_back(arrival);
+    tx_usec.push_back(tx);
+    key.push_back(probe_key);
+    source.push_back(src);
+    measurement_id.push_back(mid);
+    seq.push_back(delivery_seq);
+  }
+
+  void clear() {
+    arrival_usec.clear();
+    tx_usec.clear();
+    key.clear();
+    source.clear();
+    measurement_id.clear();
+    seq.clear();
+    malformed = 0;
+    packets_received = 0;
+    bytes_received = 0;
+  }
+
+  void reserve(std::size_t n) {
+    arrival_usec.reserve(n);
+    tx_usec.reserve(n);
+    key.reserve(n);
+    source.reserve(n);
+    measurement_id.reserve(n);
+    seq.reserve(n);
+  }
+
+  std::size_t capacity() const { return arrival_usec.capacity(); }
+};
+
 class Collector {
  public:
   explicit Collector(anycast::SiteId site) : site_(site) {}

@@ -3,30 +3,94 @@
 #include <algorithm>
 #include <mutex>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "bgp/catchment_resolver.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/rng.hpp"
+#include "util/round_arena.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vp::core {
 
 namespace {
 
-/// One worker's private round state. Nothing here is shared while the
-/// probe phase runs; the coordinator merges after the workers join.
-struct Shard {
-  std::vector<Collector> collectors;  // one per site
-  std::unordered_set<std::uint32_t> probed_addresses;
-  std::unordered_set<std::uint32_t> probed_blocks;
+/// Auto tile size (RoundSpec::tile_entries == 0): the probe-order entries
+/// one shard walks before moving to the next block range. 32k entries
+/// keep the resolver slice (~32KB), the flappy bitset (~4KB) and the
+/// geo/responsiveness rows a tile touches comfortably inside LLC while
+/// still amortizing the per-tile bucketing work.
+constexpr std::uint32_t kDefaultTileEntries = 32768;
+
+/// One merged reply in the cleaning array. `key` is the probe's global
+/// index in the round's probe order and `seq` its per-probe delivery
+/// counter (append order across attempts), so sorting by
+/// (arrival, site, key, seq) — a strict total order, since (key, seq) is
+/// unique per record — reproduces the legacy merge exactly:
+/// the old pipeline concatenated per-(site, shard) record lists site-major
+/// in shard order, then stable-sorted by arrival. Within one (site, shard)
+/// list, records were appended in ascending (global probe index, delivery
+/// seq); shards own ascending disjoint probe-index ranges; so the old
+/// equal-arrival tie order WAS (site asc, probe index asc, seq asc).
+/// Making that order explicit in the comparator frees every shard to
+/// produce its records in any processing order — which is what lets the
+/// tiled walk exist at all.
+struct CleanRecord {
+  std::int64_t arrival_usec = 0;
+  std::int64_t tx_usec = 0;
+  std::uint64_t key = 0;
+  std::uint32_t source = 0;
+  std::uint32_t measurement_id = 0;
+  std::uint16_t seq = 0;
+  anycast::SiteId site = anycast::kUnknownSite;
+
+  friend bool operator<(const CleanRecord& a, const CleanRecord& b) {
+    if (a.arrival_usec != b.arrival_usec) return a.arrival_usec < b.arrival_usec;
+    if (a.site != b.site) return a.site < b.site;
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq < b.seq;
+  }
+};
+
+/// One worker's cross-round state. Nothing here is shared while the probe
+/// phase runs; the coordinator reads it after the workers join. Lives in
+/// the round arena so round N+1 starts with round N's capacities.
+struct ShardWs {
+  std::vector<ReplyBuffer> replies;        // one per site
+  std::vector<std::uint32_t> tile_start;   // bucket -> first slot, size B+1
+  std::vector<std::uint32_t> tile_cursor;  // counting-sort fill cursors
+  std::vector<std::uint32_t> tile_entry;   // slot -> hitlist entry index
+  std::vector<std::uint64_t> tile_gidx;    // slot -> first global probe idx
+  std::vector<net::Ipv4Address> tile_targets;  // batched drop draws input
+  std::vector<std::uint8_t> drops;             // batched drop draws output
+  std::vector<net::Ipv4Address> targets_scratch;
+  std::vector<std::uint8_t> probe_bytes;
+  std::vector<std::uint8_t> reply_bytes;
+  std::vector<sim::DeliveryView> deliveries;
+  std::vector<std::uint32_t> probed_addresses;  // extra-targets mode only
   sim::FaultStats faults;  // summed at merge: order-invariant
   // Observability tallies (plain ints: private to the worker, flushed
   // into the registry by the coordinator — zero hot-path contention).
   std::uint64_t obs_probes = 0;      // unique targets probed
   std::uint64_t obs_replied = 0;     // probes answered within the timeout
   std::uint64_t obs_unanswered = 0;  // probes never answered in time
+  std::uint64_t hot_grows = 0;       // capacity growths inside the loop
+};
+
+/// Everything the engine keeps alive between rounds. One instance per
+/// arena; shapes repeat round to round (same hitlist, same threads), so
+/// a steady-state round allocates nothing here.
+struct EngineWorkspace {
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint64_t> offset;  // extra-targets mode only
+  std::vector<ShardWs> shards;
+  std::vector<std::uint32_t> addr_by_block;  // block off -> probed address
+  std::vector<std::uint64_t> mapped_bits;    // first-reply-wins bitmap
+  std::vector<std::uint32_t> sorted_addresses;  // extra-targets mode only
+  std::vector<CleanRecord> merged;
+  std::vector<float> kept_rtts;
+  std::vector<std::uint64_t> site_bytes;
 };
 
 /// Registry handles the engine reports into, resolved once per process.
@@ -39,6 +103,8 @@ struct EngineMetrics {
   obs::Counter& unanswered;
   obs::Counter& retries;
   obs::Counter& malformed;
+  obs::Counter& arena_reuses;
+  obs::Counter& hot_allocs;
   obs::Histogram& round_ms;
   obs::Histogram& probe_phase_ms;
   obs::Histogram& rtt_ms;
@@ -52,6 +118,8 @@ struct EngineMetrics {
                            r.counter("vp_engine_probes_unanswered_total"),
                            r.counter("vp_engine_retries_total"),
                            r.counter("vp_collector_malformed_total"),
+                           r.counter("vp_engine_arena_reuses_total"),
+                           r.counter("vp_engine_hot_allocs_total"),
                            r.histogram("vp_engine_round_ms", ms),
                            r.histogram("vp_engine_probe_phase_ms", ms),
                            r.histogram("vp_engine_rtt_ms", ms)};
@@ -83,36 +151,54 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
   // the workers fan out — otherwise every worker's first probe piles up
   // on the resolver's call_once.
   internet_->warm(routes);
+  const bgp::CatchmentResolver* resolver =
+      internet_->flips().resolver_for(routes);
+
+  // Cross-round scratch: a caller-provided arena (Campaign, the daemon,
+  // the benches) makes round N+1 reuse round N's capacities; without one
+  // the round allocates privately and the arena dies with the call.
+  util::RoundArena local_arena;
+  util::RoundArena* arena = spec.arena != nullptr ? spec.arena : &local_arena;
+  const std::uint64_t reuses_before = arena->reuses();
+  EngineWorkspace& ws = arena->state<EngineWorkspace>();
+  if (arena->reuses() > reuses_before) em.arena_reuses.add();
 
   RoundResult result;
   result.started = spec.start;
 
   // --- plan ---------------------------------------------------------------
-  // offset[i] = probes emitted before order position i — the serial walk's
-  // timestamp/sequence counter at that point. Every shard derives its tx
-  // times and ICMP sequence numbers from these global indices, so packets
-  // are bit-identical to the serial walk's no matter who builds them.
-  const auto order = hitlist_->probe_order(
-      util::hash_combine(config.order_seed, spec.round));
+  // Probe i's global index gives its tx timestamp and ICMP sequence as
+  // pure functions (tx = start + i/rate), so packets are bit-identical to
+  // the serial walk's no matter which shard or tile builds them. With no
+  // extra targets the index IS the order position (one probe per entry)
+  // and the prefix-sum array is elided entirely — 51MB saved at 6.4M.
+  util::arena_reserve(ws.order, hitlist_->size(), *arena);
+  hitlist_->probe_order_into(util::hash_combine(config.order_seed, spec.round),
+                             ws.order);
+  const auto& order = ws.order;
   const std::uint64_t target_seed =
       util::hash_combine(config.order_seed, 0x7a6e);
-  std::vector<std::uint64_t> offset(order.size() + 1, 0);
-  if (config.extra_targets_per_block == 0) {
-    for (std::size_t i = 0; i <= order.size(); ++i) offset[i] = i;
-  } else {
+  const bool multi_target = config.extra_targets_per_block > 0;
+  std::uint64_t total_probes = order.size();
+  if (multi_target) {
+    util::arena_reserve(ws.offset, order.size() + 1, *arena);
+    ws.offset.assign(order.size() + 1, 0);
+    std::vector<net::Ipv4Address> scratch;
     for (std::size_t i = 0; i < order.size(); ++i) {
       const hitlist::Entry& entry = hitlist_->entries()[order[i]];
-      offset[i + 1] = offset[i] +
-                      hitlist_
-                          ->targets_for(entry, config.extra_targets_per_block,
-                                        target_seed)
-                          .size();
+      ws.offset[i + 1] =
+          ws.offset[i] + hitlist_
+                             ->targets_into(entry,
+                                            config.extra_targets_per_block,
+                                            target_seed, scratch)
+                             .size();
     }
+    total_probes = ws.offset[order.size()];
   }
-  const std::uint64_t total_probes = offset[order.size()];
 
-  // Contiguous chunks of the probe order, balanced by probe count.
-  // Contiguity is what makes the merge order-preserving (see header).
+  // Contiguous chunks of the probe order, balanced by probe count. Each
+  // chunk owns an ascending, disjoint global probe-index range — the
+  // property the merge sort's (key, seq) tie-break relies on.
   const unsigned shard_count = static_cast<unsigned>(std::min<std::uint64_t>(
       util::resolve_threads(spec.threads),
       std::max<std::uint64_t>(order.size(), 1)));
@@ -120,12 +206,40 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
   bounds[0] = 0;
   for (unsigned s = 1; s < shard_count; ++s) {
     const std::uint64_t want = total_probes * s / shard_count;
-    bounds[s] = static_cast<std::size_t>(
-        std::lower_bound(offset.begin(), offset.end(), want) -
-        offset.begin());
+    bounds[s] =
+        multi_target
+            ? static_cast<std::size_t>(
+                  std::lower_bound(ws.offset.begin(), ws.offset.end(), want) -
+                  ws.offset.begin())
+            : static_cast<std::size_t>(
+                  std::min<std::uint64_t>(want, order.size()));
   }
 
-  // --- probe phase (sharded) ----------------------------------------------
+  // Block span of the hitlist: backs the direct-mapped probed-address
+  // table (one slot per /24) and the first-reply-wins bitmap, replacing
+  // the per-round hash sets. Every probed address lies inside its
+  // entry's block, so the span covers all of them.
+  std::uint32_t block_lo = 0;
+  std::size_t block_span = 0;
+  if (!order.empty()) {
+    std::uint32_t lo = 0xffffffff, hi = 0;
+    for (const hitlist::Entry& entry : hitlist_->entries()) {
+      lo = std::min(lo, entry.block.index());
+      hi = std::max(hi, entry.block.index());
+    }
+    block_lo = lo;
+    block_span = static_cast<std::size_t>(hi - lo) + 1;
+  }
+  if (!multi_target) {
+    // Filled race-free inside the shard loop: each hitlist entry (and
+    // thus each block slot) belongs to exactly one order position. The
+    // zero sentinel is unambiguous — probed addresses have a nonzero
+    // host byte, so their value is never 0.
+    util::arena_reserve(ws.addr_by_block, block_span, *arena);
+    ws.addr_by_block.assign(block_span, 0);
+  }
+
+  // --- probe phase (sharded, tiled) ---------------------------------------
   const util::SimTime gap =
       util::SimTime::from_seconds(1.0 / config.rate_pps);
   // Fault/retry path: only taken when a live plan or retries are
@@ -142,7 +256,16 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
       util::SimTime::from_seconds(config.probe_timeout_ms / 1000.0);
   const util::SimTime window =
       util::SimTime{gap.usec * static_cast<std::int64_t>(total_probes)};
-  std::vector<Shard> shards(shard_count);
+  const std::uint32_t tile_entries =
+      spec.tile_entries == 0 ? kDefaultTileEntries : spec.tile_entries;
+  const std::size_t entry_count = hitlist_->size();
+  const std::size_t bucket_count =
+      entry_count == 0
+          ? 1
+          : (entry_count + tile_entries - 1) / tile_entries;
+
+  util::arena_reserve(ws.shards, shard_count, *arena);
+  if (ws.shards.size() < shard_count) ws.shards.resize(shard_count);
   std::mutex observer_mutex;
   std::uint64_t sent_total = 0;  // guarded by observer_mutex
   // Each worker reports every `stride` probes; dividing by the shard count
@@ -152,86 +275,199 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
 
   obs::Span probe_span{&em.probe_phase_ms};
   util::run_shards(shard_count, [&](unsigned s) {
-    Shard& shard = shards[s];
-    shard.collectors.reserve(site_count);
-    for (std::size_t site = 0; site < site_count; ++site)
-      shard.collectors.emplace_back(static_cast<anycast::SiteId>(site));
+    ShardWs& shard = ws.shards[s];
+    // Capacity growths inside this worker are tracked against the
+    // steady-state promise (vp_engine_hot_allocs_total): round 2+ of an
+    // arena-backed campaign must report zero.
+    const auto grow = [&shard](auto& vec, std::size_t n) {
+      if (vec.capacity() < n) {
+        vec.reserve(n);
+        ++shard.hot_grows;
+      }
+    };
+    shard.faults = {};
+    shard.obs_probes = shard.obs_replied = shard.obs_unanswered = 0;
+    if (shard.replies.size() != site_count) {
+      shard.replies.resize(site_count);
+      ++shard.hot_grows;
+    }
+    std::size_t reply_caps = 0;
+    for (ReplyBuffer& buf : shard.replies) {
+      buf.clear();
+      reply_caps += buf.capacity();
+    }
     const std::size_t begin = bounds[s];
     const std::size_t end = bounds[s + 1];
-    shard.probed_addresses.reserve(
-        static_cast<std::size_t>(offset[end] - offset[begin]) * 2);
-    std::uint64_t probe_index = offset[begin];
-    std::uint64_t since_report = 0;
-    util::SimTime now =
-        spec.start +
-        util::SimTime{gap.usec * static_cast<std::int64_t>(probe_index)};
+    const std::size_t chunk = end - begin;
+    shard.probed_addresses.clear();
+    if (multi_target) {
+      grow(shard.probed_addresses,
+           static_cast<std::size_t>(ws.offset[end] - ws.offset[begin]));
+    }
+
+    // Bucket the chunk's order positions into block-range tiles with one
+    // counting sort: tile t holds the positions whose entry index lands
+    // in [t*tile_entries, (t+1)*tile_entries). Entry indices track block
+    // indices (the hitlist follows the topology's ascending block run),
+    // so a tile's resolver/geo/responsiveness rows stay cache-resident
+    // while its probes run, instead of the whole-range random walk that
+    // made the 6.4M round memory-bound.
+    grow(shard.tile_start, bucket_count + 1);
+    grow(shard.tile_cursor, bucket_count);
+    grow(shard.tile_entry, chunk);
+    grow(shard.tile_gidx, chunk);
+    shard.tile_start.assign(bucket_count + 1, 0);
+    shard.tile_entry.resize(chunk);
+    shard.tile_gidx.resize(chunk);
+    for (std::size_t i = begin; i < end; ++i)
+      ++shard.tile_start[order[i] / tile_entries + 1];
+    for (std::size_t b = 0; b < bucket_count; ++b)
+      shard.tile_start[b + 1] += shard.tile_start[b];
+    shard.tile_cursor.assign(shard.tile_start.begin(),
+                             shard.tile_start.end() - 1);
     for (std::size_t i = begin; i < end; ++i) {
-      const hitlist::Entry& entry = hitlist_->entries()[order[i]];
-      const auto targets = hitlist_->targets_for(
-          entry, config.extra_targets_per_block, target_seed);
-      for (const net::Ipv4Address target : targets) {
-        shard.probed_addresses.insert(target.value());
-        shard.probed_blocks.insert(entry.block.index());
-        util::SimTime attempt_tx = now;
-        double backoff_ms = config.retry_backoff_ms;
-        bool answered = false;
-        for (int attempt = 0; attempt < max_attempts; ++attempt) {
-          if (attempt > 0) ++shard.faults.retries;
-          bool answered_in_time = false;
-          if (injector != nullptr &&
-              injector->drops_probe(target, spec.round,
-                                    static_cast<std::uint32_t>(attempt))) {
-            ++shard.faults.probes_lost;
-          } else {
-            net::ProbePayload payload;
-            payload.measurement_id = config.measurement_id;
-            payload.tx_time_usec = attempt_tx.usec;
-            payload.original_target = target;
-            const net::PacketBytes probe = net::build_echo_request(
-                deployment.measurement_address, target,
-                static_cast<std::uint16_t>(config.measurement_id & 0xffff),
-                static_cast<std::uint16_t>(probe_index & 0xffff), payload);
-            auto deliveries =
-                internet_->probe(routes, probe.data, attempt_tx, spec.round);
-            if (injector != nullptr) {
-              injector->apply_reply_faults(
-                  deliveries, entry.block, spec.round,
-                  static_cast<std::uint32_t>(attempt), attempt_tx,
-                  site_count, spec.start, window, shard.faults);
-            } else if (robust) {
-              shard.faults.replies_generated += deliveries.size();
+      const std::uint32_t slot = shard.tile_cursor[order[i] / tile_entries]++;
+      shard.tile_entry[slot] = order[i];
+      shard.tile_gidx[slot] =
+          multi_target ? ws.offset[i] : static_cast<std::uint64_t>(i);
+    }
+
+    std::uint64_t since_report = 0;
+    sim::DataplaneTally dataplane;
+    sim::ResolveTally resolve_tally;
+    for (std::size_t t = 0; t < bucket_count; ++t) {
+      const std::uint32_t slot_begin = shard.tile_start[t];
+      const std::uint32_t slot_end = shard.tile_start[t + 1];
+      if (slot_begin == slot_end) continue;
+      if (resolver != nullptr) {
+        // Warm-touch the resolver slices this tile will read. Advisory
+        // only — results never depend on it.
+        const std::size_t e_lo = t * static_cast<std::size_t>(tile_entries);
+        const std::size_t e_hi =
+            std::min(e_lo + tile_entries, entry_count) - 1;
+        resolver->warm_touch(hitlist_->entries()[e_lo].block,
+                             hitlist_->entries()[e_hi].block);
+      }
+      if (injector != nullptr && !multi_target) {
+        // Batch the first-attempt forward-loss draws for the whole tile:
+        // the seed/salt/round combine hoists out of the loop, the bits
+        // are identical to per-probe drops_probe calls.
+        grow(shard.tile_targets, slot_end - slot_begin);
+        grow(shard.drops, slot_end - slot_begin);
+        shard.tile_targets.clear();
+        for (std::uint32_t p = slot_begin; p < slot_end; ++p)
+          shard.tile_targets.push_back(
+              hitlist_->entries()[shard.tile_entry[p]].target);
+        injector->drops_probe_batch(shard.tile_targets, spec.round, 0,
+                                    shard.drops);
+      }
+
+      for (std::uint32_t p = slot_begin; p < slot_end; ++p) {
+        const hitlist::Entry& entry = hitlist_->entries()[shard.tile_entry[p]];
+        const auto targets =
+            hitlist_->targets_into(entry, config.extra_targets_per_block,
+                                   target_seed, shard.targets_scratch);
+        std::uint64_t probe_index = shard.tile_gidx[p];
+        for (std::size_t k = 0; k < targets.size(); ++k) {
+          const net::Ipv4Address target = targets[k];
+          if (multi_target)
+            shard.probed_addresses.push_back(target.value());
+          else
+            ws.addr_by_block[entry.block.index() - block_lo] = target.value();
+          util::SimTime attempt_tx =
+              spec.start + util::SimTime{gap.usec * static_cast<std::int64_t>(
+                                                        probe_index)};
+          double backoff_ms = config.retry_backoff_ms;
+          bool answered = false;
+          std::uint16_t seq = 0;
+          for (int attempt = 0; attempt < max_attempts; ++attempt) {
+            if (attempt > 0) ++shard.faults.retries;
+            bool answered_in_time = false;
+            const bool dropped =
+                injector != nullptr &&
+                (attempt == 0 && !multi_target
+                     ? shard.drops[p - slot_begin] != 0
+                     : injector->drops_probe(
+                           target, spec.round,
+                           static_cast<std::uint32_t>(attempt)));
+            if (dropped) {
+              ++shard.faults.probes_lost;
+            } else {
+              net::ProbePayload payload;
+              payload.measurement_id = config.measurement_id;
+              payload.tx_time_usec = attempt_tx.usec;
+              payload.original_target = target;
+              net::build_echo_request_into(
+                  shard.probe_bytes, deployment.measurement_address, target,
+                  static_cast<std::uint16_t>(config.measurement_id & 0xffff),
+                  static_cast<std::uint16_t>(probe_index & 0xffff), payload);
+              internet_->probe_into(routes, shard.probe_bytes, attempt_tx,
+                                    spec.round, shard.deliveries,
+                                    shard.reply_bytes, &dataplane,
+                                    &resolve_tally);
+              if (injector != nullptr) {
+                injector->apply_reply_faults(
+                    shard.deliveries, entry.block, spec.round,
+                    static_cast<std::uint32_t>(attempt), attempt_tx,
+                    site_count, spec.start, window, shard.faults);
+              } else if (robust) {
+                shard.faults.replies_generated += shard.deliveries.size();
+              }
+              if (!shard.deliveries.empty()) {
+                // All deliveries of one attempt share the same bytes:
+                // parse once, then append per-site SoA rows (the legacy
+                // collectors re-parsed per delivery).
+                const auto parsed = net::parse_reply_view(shard.reply_bytes);
+                for (const sim::DeliveryView& delivery : shard.deliveries) {
+                  if (delivery.arrival <= attempt_tx + timeout)
+                    answered_in_time = true;
+                  ReplyBuffer& buf =
+                      shard.replies[static_cast<std::size_t>(delivery.site)];
+                  ++buf.packets_received;
+                  buf.bytes_received += shard.reply_bytes.size();
+                  if (!parsed) {
+                    ++buf.malformed;
+                  } else {
+                    buf.push(delivery.arrival.usec, parsed->probe.tx_time_usec,
+                             probe_index, parsed->ip.source.value(),
+                             parsed->probe.measurement_id, seq);
+                  }
+                  ++seq;
+                }
+              }
             }
-            for (sim::Delivery& delivery : deliveries) {
-              if (delivery.arrival <= attempt_tx + timeout)
-                answered_in_time = true;
-              shard.collectors[static_cast<std::size_t>(delivery.site)]
-                  .receive(delivery.packet.data, delivery.arrival);
+            if (answered_in_time) {
+              if (attempt > 0) ++shard.faults.recovered;
+              answered = true;
+              break;
             }
+            attempt_tx += timeout + util::SimTime::from_seconds(
+                                        backoff_ms / 1000.0);
+            backoff_ms *= config.retry_backoff_factor;
           }
-          if (answered_in_time) {
-            if (attempt > 0) ++shard.faults.recovered;
-            answered = true;
-            break;
+          ++shard.obs_probes;
+          if (answered)
+            ++shard.obs_replied;
+          else
+            ++shard.obs_unanswered;
+          ++probe_index;
+          if (observer != nullptr && ++since_report == stride) {
+            std::lock_guard lock{observer_mutex};
+            sent_total += since_report;
+            since_report = 0;
+            observer->on_probe_progress(spec, sent_total, total_probes);
           }
-          attempt_tx += timeout + util::SimTime::from_seconds(
-                                      backoff_ms / 1000.0);
-          backoff_ms *= config.retry_backoff_factor;
-        }
-        ++shard.obs_probes;
-        if (answered)
-          ++shard.obs_replied;
-        else
-          ++shard.obs_unanswered;
-        ++probe_index;
-        now += gap;
-        if (observer != nullptr && ++since_report == stride) {
-          std::lock_guard lock{observer_mutex};
-          sent_total += since_report;
-          since_report = 0;
-          observer->on_probe_progress(spec, sent_total, total_probes);
         }
       }
+      // One flush of the tile's dataplane/resolution tallies — the only
+      // time this worker touches the shared obs layer per tile.
+      sim::InternetSim::flush(dataplane);
+      sim::FlipModel::flush(resolve_tally);
     }
+    std::size_t reply_caps_after = 0;
+    for (const ReplyBuffer& buf : shard.replies)
+      reply_caps_after += buf.capacity();
+    if (reply_caps_after != reply_caps) ++shard.hot_grows;
   });
   const double probe_phase_ms = probe_span.stop();
   if (observer != nullptr)
@@ -241,20 +477,22 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
   result.map.measurement_id = config.measurement_id;
 
   // --- merge --------------------------------------------------------------
-  // Shard address/block sets are disjoint (each hitlist entry lives in
-  // exactly one chunk), so merging splices nodes without copies. Fault
-  // counters are sums, so shard order cannot affect them.
-  std::unordered_set<std::uint32_t> probed_addresses;
-  std::unordered_set<std::uint32_t> probed_blocks;
-  probed_addresses.reserve(static_cast<std::size_t>(total_probes) * 2);
-  probed_blocks.reserve(order.size() * 2);
-  for (Shard& shard : shards) {
-    probed_addresses.merge(shard.probed_addresses);
-    probed_blocks.merge(shard.probed_blocks);
-    result.faults += shard.faults;
+  // Fault counters and tallies are sums, so shard order cannot affect
+  // them. Every hitlist entry (= one block) was probed by exactly one
+  // shard, so blocks_probed is just the entry count.
+  // NB: ws.shards may be longer than shard_count when a cross-round arena
+  // served a wider round earlier — only the first shard_count entries
+  // belong to THIS round, so every merge loop below indexes explicitly.
+  std::uint64_t hot_grows = 0;
+  for (unsigned s = 0; s < shard_count; ++s) {
+    result.faults += ws.shards[s].faults;
+    hot_grows += ws.shards[s].hot_grows;
+    ws.shards[s].hot_grows = 0;
   }
+  em.hot_allocs.add(hot_grows);
+  arena->note_grow(hot_grows);
   result.map.probes_sent = total_probes + result.faults.retries;
-  result.map.blocks_probed = probed_blocks.size();
+  result.map.blocks_probed = order.size();
   if (observer != nullptr) observer->on_fault_stats(spec, result.faults);
 
   // Flush the workers' observability tallies. Labeled per-shard series
@@ -265,7 +503,7 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
   if (obs::metrics().enabled()) {
     auto& reg = obs::metrics();
     for (unsigned s = 0; s < shard_count; ++s) {
-      const Shard& shard = shards[s];
+      const ShardWs& shard = ws.shards[s];
       const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
       reg.counter("vp_engine_shard_probes_total" + label)
           .add(shard.obs_probes);
@@ -283,28 +521,42 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
     if (robust) sim::record_fault_metrics(result.faults, reg);
   }
 
-  // Per site, concatenate shard records in shard order: chunks are
-  // contiguous in emission order, so this IS the serial receive order.
-  std::vector<ReplyRecord> merged;
+  // Gather every shard's SoA rows into one cleaning array. Gather order
+  // is irrelevant: the sort below is a strict total order (see
+  // CleanRecord), so any processing schedule lands on the same sequence.
   result.raw_replies_per_site.assign(site_count, 0);
   CleaningStats& stats = result.map.cleaning;
   std::size_t total_records = 0;
-  for (const Shard& shard : shards)
-    for (const Collector& collector : shard.collectors)
-      total_records += collector.records().size();
-  merged.reserve(total_records);
-  std::vector<std::uint64_t> site_bytes(site_count, 0);
-  for (std::size_t site = 0; site < site_count; ++site) {
-    for (const Shard& shard : shards) {
-      const Collector& collector = shard.collectors[site];
-      stats.malformed += collector.malformed();
-      site_bytes[site] += collector.bytes_received();
-      result.raw_replies_per_site[site] += collector.records().size();
-      merged.insert(merged.end(), collector.records().begin(),
-                    collector.records().end());
+  for (unsigned s = 0; s < shard_count; ++s)
+    for (const ReplyBuffer& buf : ws.shards[s].replies)
+      total_records += buf.size();
+  // An eighth of headroom so round-to-round reply variance under a
+  // cross-round arena doesn't force a yearly regrow.
+  util::arena_reserve(ws.merged, total_records + total_records / 8, *arena);
+  ws.merged.clear();
+  util::arena_reserve(ws.site_bytes, site_count, *arena);
+  ws.site_bytes.assign(site_count, 0);
+  for (unsigned s = 0; s < shard_count; ++s) {
+    const ShardWs& shard = ws.shards[s];
+    for (std::size_t site = 0; site < shard.replies.size(); ++site) {
+      const ReplyBuffer& buf = shard.replies[site];
+      stats.malformed += buf.malformed;
+      ws.site_bytes[site] += buf.bytes_received;
+      result.raw_replies_per_site[site] += buf.size();
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        CleanRecord record;
+        record.arrival_usec = buf.arrival_usec[i];
+        record.tx_usec = buf.tx_usec[i];
+        record.key = buf.key[i];
+        record.source = buf.source[i];
+        record.measurement_id = buf.measurement_id[i];
+        record.seq = buf.seq[i];
+        record.site = static_cast<anycast::SiteId>(site);
+        ws.merged.push_back(record);
+      }
     }
   }
-  stats.raw_replies = merged.size() + stats.malformed;
+  stats.raw_replies = ws.merged.size() + stats.malformed;
   if (obs::metrics().enabled()) {
     auto& reg = obs::metrics();
     for (std::size_t site = 0; site < site_count; ++site) {
@@ -312,7 +564,7 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
           "{site=\"" + deployment.sites[site].code + "\"}";
       reg.counter("vp_collector_replies_total" + label)
           .add(result.raw_replies_per_site[site]);
-      reg.counter("vp_collector_bytes_total" + label).add(site_bytes[site]);
+      reg.counter("vp_collector_bytes_total" + label).add(ws.site_bytes[site]);
     }
     em.malformed.add(stats.malformed);
   }
@@ -320,38 +572,61 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
     observer->on_replies_collected(spec, result.raw_replies_per_site);
 
   // --- central cleaning (paper §4) ----------------------------------------
-  // First reply wins: order by arrival (stable for determinism).
-  std::stable_sort(merged.begin(), merged.end(),
-                   [](const ReplyRecord& a, const ReplyRecord& b) {
-                     return a.arrival < b.arrival;
-                   });
+  // First reply wins: the total order over (arrival, site, key, seq)
+  // reproduces the legacy arrival-stable-sorted shard concat exactly, so
+  // the cleaning pass below runs on the same sequence it always did.
+  std::sort(ws.merged.begin(), ws.merged.end());
   const util::SimTime cutoff =
       spec.start + util::SimTime::from_minutes(config.late_cutoff_minutes);
-  std::vector<float> kept_rtts;  // for the p50/p95 in RoundMetrics
-  for (const ReplyRecord& record : merged) {
+  util::arena_reserve(ws.kept_rtts, order.size(), *arena);
+  ws.kept_rtts.clear();
+  util::arena_reserve(ws.mapped_bits, (block_span + 63) / 64, *arena);
+  ws.mapped_bits.assign((block_span + 63) / 64, 0);
+  if (multi_target) {
+    // Fallback probed-address index: concatenate the shards' (disjoint)
+    // address lists and binary-search. The direct map can't be used — a
+    // block probes several addresses.
+    util::arena_reserve(ws.sorted_addresses, total_probes, *arena);
+    ws.sorted_addresses.clear();
+    for (unsigned s = 0; s < shard_count; ++s)
+      ws.sorted_addresses.insert(ws.sorted_addresses.end(),
+                                 ws.shards[s].probed_addresses.begin(),
+                                 ws.shards[s].probed_addresses.end());
+    std::sort(ws.sorted_addresses.begin(), ws.sorted_addresses.end());
+  }
+  result.map.reserve(order.size());
+  result.rtt_ms.reserve(order.size());
+  for (const CleanRecord& record : ws.merged) {
     if (record.measurement_id != config.measurement_id) {
       ++stats.wrong_id;
       continue;
     }
-    if (record.arrival > cutoff) {
+    if (record.arrival_usec > cutoff.usec) {
       ++stats.late;
       continue;
     }
-    if (probed_addresses.find(record.source.value()) ==
-        probed_addresses.end()) {
+    const net::Block24 block =
+        net::Block24::containing(net::Ipv4Address{record.source});
+    const std::size_t off = static_cast<std::size_t>(
+        block.index() - block_lo);  // wraps below block_lo: off >= span
+    if (multi_target
+            ? !std::binary_search(ws.sorted_addresses.begin(),
+                                  ws.sorted_addresses.end(), record.source)
+            : off >= block_span || ws.addr_by_block[off] != record.source) {
       ++stats.unsolicited;
       continue;
     }
-    const net::Block24 block = net::Block24::containing(record.source);
-    if (result.map.contains(block)) {
+    const std::uint64_t bit = std::uint64_t{1} << (off & 63);
+    if ((ws.mapped_bits[off >> 6] & bit) != 0) {
       ++stats.duplicates;
       continue;
     }
+    ws.mapped_bits[off >> 6] |= bit;
     const float rtt =
-        static_cast<float>((record.arrival - record.tx_time).usec) / 1000.0f;
+        static_cast<float>(record.arrival_usec - record.tx_usec) / 1000.0f;
     result.map.set(block, record.site);
     result.rtt_ms.emplace(block, rtt);
-    kept_rtts.push_back(rtt);
+    ws.kept_rtts.push_back(rtt);
     em.rtt_ms.observe(rtt);
     ++stats.kept;
   }
@@ -369,8 +644,8 @@ RoundResult ProbeEngine::run(const bgp::RoutingTable& routes,
         wall_ms > 0.0
             ? static_cast<double>(metrics.probes_sent) / (wall_ms / 1000.0)
             : 0.0;
-    metrics.rtt_p50_ms = percentile(kept_rtts, 0.50);
-    metrics.rtt_p95_ms = percentile(kept_rtts, 0.95);
+    metrics.rtt_p50_ms = percentile(ws.kept_rtts, 0.50);
+    metrics.rtt_p95_ms = percentile(ws.kept_rtts, 0.95);
     observer->on_metrics(spec, metrics);
   }
   return result;

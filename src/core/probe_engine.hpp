@@ -9,21 +9,30 @@
 // are pure functions of the probe's *global index* in that order. So the
 // engine:
 //
-//   1. materializes the round's probe order and prefix-sums the per-entry
-//      target counts, giving every probe its global index up front;
+//   1. materializes the round's probe order and (in multi-target mode)
+//      prefix-sums the per-entry target counts, giving every probe its
+//      global index up front;
 //   2. splits the order into N *contiguous* chunks of roughly equal probe
-//      count; each worker probes its chunk with private per-site
-//      collectors and private probed-address/block sets, stamping tx
-//      times and sequence numbers from the global index;
-//   3. merges: per site, shard record lists are concatenated in shard
-//      order — because chunks are contiguous in emission order, this
-//      reproduces the serial collector's receive order exactly — then the
-//      usual stable sort by arrival and first-reply-wins cleaning pass
-//      run unchanged (paper §4).
+//      count, then each worker walks its chunk in block-range TILES: a
+//      counting sort groups the chunk's positions by entry-index range,
+//      so the resolver/geo/responsiveness rows a tile touches stay
+//      cache-resident while its probes run. Tx times and sequence numbers
+//      are pure functions of the global index, so the walk order cannot
+//      change a single packet. Replies accumulate in per-(shard, site)
+//      structure-of-arrays buffers tagged with (global probe index,
+//      per-probe delivery seq);
+//   3. merges: all shard rows are gathered and sorted by the strict total
+//      order (arrival, site, probe index, seq). This reproduces the
+//      legacy pipeline — site-major shard-order concatenation followed by
+//      a stable sort on arrival — exactly: within one (site, shard) list
+//      records were appended in ascending (probe index, seq), and shards
+//      own ascending disjoint probe-index ranges, so the legacy
+//      equal-arrival tie order WAS (site, probe index, seq). The
+//      first-reply-wins cleaning pass then runs unchanged (paper §4).
 //
-// Equal-arrival ties therefore resolve identically for any thread count,
-// and the CatchmentMap, CleaningStats, and per-block RTTs match the
-// one-thread run bit for bit.
+// Equal-arrival ties therefore resolve identically for any thread count
+// AND any tile size, and the CatchmentMap, CleaningStats, and per-block
+// RTTs match the one-thread run bit for bit.
 //
 // Faults and retries preserve the guarantee: the fault plan
 // (sim/fault_injector.hpp) is const-pure like the rest of sim/, retry

@@ -82,28 +82,45 @@ std::uint32_t Hitlist::crc32() const {
 
 std::vector<std::uint32_t> Hitlist::probe_order(
     std::uint64_t round_seed) const {
-  std::vector<std::uint32_t> order(entries_.size());
-  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  util::Rng rng{round_seed};
-  for (std::size_t i = order.size(); i > 1; --i)
-    std::swap(order[i - 1], order[rng.below(i)]);
+  std::vector<std::uint32_t> order;
+  probe_order_into(round_seed, order);
   return order;
+}
+
+void Hitlist::probe_order_into(std::uint64_t round_seed,
+                               std::vector<std::uint32_t>& out) const {
+  out.resize(entries_.size());
+  for (std::uint32_t i = 0; i < out.size(); ++i) out[i] = i;
+  util::Rng rng{round_seed};
+  for (std::size_t i = out.size(); i > 1; --i)
+    std::swap(out[i - 1], out[rng.below(i)]);
 }
 
 std::vector<net::Ipv4Address> Hitlist::targets_for(
     const Entry& entry, int extra_targets_per_block,
     std::uint64_t seed) const {
-  std::vector<net::Ipv4Address> targets{entry.target};
+  std::vector<net::Ipv4Address> scratch;
+  const auto targets =
+      targets_into(entry, extra_targets_per_block, seed, scratch);
+  return {targets.begin(), targets.end()};
+}
+
+std::span<const net::Ipv4Address> Hitlist::targets_into(
+    const Entry& entry, int extra_targets_per_block, std::uint64_t seed,
+    std::vector<net::Ipv4Address>& scratch) const {
+  if (extra_targets_per_block <= 0) return {&entry.target, 1};
+  scratch.clear();
+  scratch.push_back(entry.target);
   util::Rng rng{util::hash_combine(seed, entry.block.index())};
   for (int i = 0; i < extra_targets_per_block; ++i) {
     net::Ipv4Address candidate =
         entry.block.address(static_cast<std::uint8_t>(1 + rng.below(250)));
-    if (std::find(targets.begin(), targets.end(), candidate) ==
-        targets.end()) {
-      targets.push_back(candidate);
+    if (std::find(scratch.begin(), scratch.end(), candidate) ==
+        scratch.end()) {
+      scratch.push_back(candidate);
     }
   }
-  return targets;
+  return scratch;
 }
 
 }  // namespace vp::hitlist

@@ -101,6 +101,39 @@ PacketBytes build_echo_reply(const Ipv4Header& request_ip,
                              const IcmpEcho& request_icmp,
                              Ipv4Address reply_source);
 
+// ---- allocation-free variants (the probe hot path) -----------------------
+//
+// The sharded engine builds and parses millions of packets per round;
+// the *_into / *_view forms below produce byte-identical wire images and
+// identical accept/reject decisions while reusing caller-owned buffers,
+// so a steady-state round touches the allocator zero times per probe.
+
+/// An ICMP echo whose payload is a view into the containing packet.
+struct IcmpEchoView {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// IcmpEcho::parse without the payload copy; identical validation.
+std::optional<IcmpEchoView> parse_icmp_echo_view(
+    std::span<const std::uint8_t> data);
+
+/// build_echo_request into a reused buffer (cleared first). Byte-identical
+/// to build_echo_request().
+void build_echo_request_into(std::vector<std::uint8_t>& out,
+                             Ipv4Address source, Ipv4Address destination,
+                             std::uint16_t identifier, std::uint16_t sequence,
+                             const ProbePayload& payload);
+
+/// build_echo_reply into a reused buffer (cleared first), from the parsed
+/// request's fields and payload bytes. Byte-identical to build_echo_reply().
+void build_echo_reply_into(std::vector<std::uint8_t>& out,
+                           const Ipv4Header& request_ip,
+                           const IcmpEchoView& request_icmp,
+                           Ipv4Address reply_source);
+
 /// A parsed probe reply as seen by a collector.
 struct ParsedReply {
   Ipv4Header ip;
@@ -108,8 +141,21 @@ struct ParsedReply {
   ProbePayload probe;
 };
 
+/// parse_reply without materializing the payload vector; identical
+/// validation, so malformed counts match the allocating path exactly.
+struct ParsedReplyView {
+  Ipv4Header ip;
+  IcmpEchoView icmp;
+  ProbePayload probe;
+};
+
 /// Parses and validates a full reply packet; nullopt if any layer is
 /// malformed, the checksum fails, or the payload lacks the probe magic.
 std::optional<ParsedReply> parse_reply(std::span<const std::uint8_t> data);
+
+/// View-returning twin of parse_reply: same decisions, zero allocations.
+/// The view borrows `data` and must not outlive it.
+std::optional<ParsedReplyView> parse_reply_view(
+    std::span<const std::uint8_t> data);
 
 }  // namespace vp::net

@@ -262,6 +262,13 @@ std::optional<core::RoundResult> Daemon::run_attempt(std::uint32_t round,
   }
   (void)attempt;
 
+  // Cross-round arena: round N+1 reuses round N's engine workspaces. The
+  // worker holds its own reference; see the member's comment for why an
+  // abandoned attempt forces a fresh arena.
+  if (arena_ == nullptr) arena_ = std::make_shared<util::RoundArena>();
+  std::shared_ptr<util::RoundArena> arena = arena_;
+  spec.arena = arena.get();
+
   auto att = std::make_shared<Attempt>();
   // The worker captures only shared state and const structures owned by
   // the scenario (which outlives the daemon), never `this`: if the
@@ -269,7 +276,7 @@ std::optional<core::RoundResult> Daemon::run_attempt(std::uint32_t round,
   // Attempt and the result is discarded under the mutex.
   const core::Verfploeter* verfploeter = &scenario_.verfploeter();
   std::shared_ptr<const bgp::RoutingTable> routes = routes_;
-  std::thread worker{[att, verfploeter, routes, spec, wedge_ms] {
+  std::thread worker{[att, verfploeter, routes, spec, wedge_ms, arena] {
     if (wedge_ms > 0) {
       // Sleep in slices so an abandoned wedge exits promptly instead of
       // lingering for the full (deliberately long) wedge duration.
@@ -302,6 +309,10 @@ std::optional<core::RoundResult> Daemon::run_attempt(std::uint32_t round,
   att->abandoned = true;
   lock.unlock();
   worker.detach();
+  // The zombie worker may still be probing into this arena; drop our
+  // reference so the next attempt builds a fresh one and can never race
+  // it. The abandoned thread's shared_ptr keeps the old arena alive.
+  arena_.reset();
   return std::nullopt;
 }
 

@@ -58,6 +58,7 @@
 #include "core/journal.hpp"
 #include "net/http_server.hpp"
 #include "sim/fault_injector.hpp"
+#include "util/round_arena.hpp"
 
 namespace vp::service {
 
@@ -249,6 +250,14 @@ class Daemon {
 
   mutable std::mutex session_mutex_;  // guards the /load delta session
   std::unique_ptr<analysis::DeltaSession> session_;
+
+  // Cross-round scratch arena for the probe engine. Held as a shared_ptr
+  // because a watchdog-abandoned worker may still be running against it:
+  // run_attempt hands the worker its own reference and, on abandonment,
+  // RESETS this member so the next attempt gets a fresh arena instead of
+  // racing the zombie (the abandoned thread keeps the old arena alive
+  // until it exits). Only the supervise loop touches it — no lock needed.
+  std::shared_ptr<util::RoundArena> arena_;
 };
 
 }  // namespace vp::service

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "anycast/deployment.hpp"
@@ -130,6 +131,14 @@ class FaultInjector {
   bool drops_probe(net::Ipv4Address target, std::uint32_t round,
                    std::uint32_t attempt) const;
 
+  /// Batched drops_probe over a whole tile of first-attempt targets:
+  /// `out` is resized to targets.size() with out[i] nonzero iff
+  /// drops_probe(targets[i], round, attempt) — the seed/salt/round
+  /// combine is hoisted out of the loop, the draws are bit-identical.
+  void drops_probe_batch(std::span<const net::Ipv4Address> targets,
+                         std::uint32_t round, std::uint32_t attempt,
+                         std::vector<std::uint8_t>& out) const;
+
   /// The block's mid-round BGP event for this round, if any.
   ChurnEvent churn(net::Block24 block, std::uint32_t round) const;
 
@@ -148,6 +157,17 @@ class FaultInjector {
   /// Pure given its arguments; `stats` is the caller's (per-shard)
   /// accumulator.
   void apply_reply_faults(std::vector<Delivery>& deliveries,
+                          net::Block24 block, std::uint32_t round,
+                          std::uint32_t attempt, util::SimTime tx,
+                          std::size_t site_count,
+                          util::SimTime window_start,
+                          util::SimTime window_length,
+                          FaultStats& stats) const;
+
+  /// Same fault realization over the non-owning DeliveryView form the
+  /// hot path uses (both overloads share one implementation, so the
+  /// Bernoulli streams — keyed by delivery index — are identical).
+  void apply_reply_faults(std::vector<DeliveryView>& deliveries,
                           net::Block24 block, std::uint32_t round,
                           std::uint32_t attempt, util::SimTime tx,
                           std::size_t site_count,

@@ -81,17 +81,28 @@ const bgp::CatchmentResolver* FlipModel::resolver_for(
   });
 }
 
+void FlipModel::flush(ResolveTally& tally) {
+  if (tally.hits == 0 && tally.misses == 0) return;
+  ResolveMetrics& rm = ResolveMetrics::get();
+  if (tally.hits) rm.hits.add(tally.hits);
+  if (tally.misses) rm.misses.add(tally.misses);
+  tally = {};
+}
+
 anycast::SiteId FlipModel::site_in_round(const bgp::RoutingTable& routes,
                                          net::Block24 block,
-                                         std::uint32_t round) const {
-  ResolveMetrics& rm = ResolveMetrics::get();
+                                         std::uint32_t round,
+                                         ResolveTally* tally) const {
   anycast::SiteId site;
 
   if (const bgp::CatchmentResolver* resolver = resolver_for(routes)) {
     // Fast path: the stable majority is one bounds check + one load; only
     // flappy blocks (the §6.3 minority) still reach into the hash map for
     // their AS's tied candidate set.
-    rm.hits.add();
+    if (tally != nullptr)
+      ++tally->hits;
+    else
+      ResolveMetrics::get().hits.add();
     if (resolver->flappy(block)) {
       const topology::BlockInfo* info = routes.topology().block_info(block);
       const bgp::AsRoutingState& state = routes.state(info->as_id);
@@ -112,7 +123,10 @@ anycast::SiteId FlipModel::site_in_round(const bgp::RoutingTable& routes,
 
   // Uncached path — must enumerate identically to the resolver so cached
   // and uncached runs produce byte-identical CSVs.
-  rm.misses.add();
+  if (tally != nullptr)
+    ++tally->misses;
+  else
+    ResolveMetrics::get().misses.add();
   const topology::BlockInfo* info = routes.topology().block_info(block);
   if (info == nullptr) return anycast::kUnknownSite;
 

@@ -21,6 +21,16 @@
 
 namespace vp::sim {
 
+/// Batched resolution counters. The probe engine hands one of these to
+/// site_in_round for a whole tile of blocks and flushes the totals to the
+/// striped metric counters once per tile, instead of touching the obs
+/// layer on every probe. hits = O(1) precomputed-resolver path; misses =
+/// full hash-map walk (cache disabled or flip-signature mismatch).
+struct ResolveTally {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
 struct FlipConfig {
   std::uint64_t seed = 11;
   /// Fraction of blocks within a load-balanced, multi-site AS that are
@@ -44,10 +54,17 @@ class FlipModel {
   /// Ground-truth site of a block in a specific round: the hot-potato
   /// choice, unless the block is flappy (per-round pick among the AS's
   /// tied candidates) or hit by a transient routing event (any other
-  /// visible site, for one round only).
+  /// visible site, for one round only). When `tally` is non-null the
+  /// hit/miss count is accumulated there instead of hitting the striped
+  /// metric counters — callers flush per tile (the site answer itself is
+  /// identical either way).
   anycast::SiteId site_in_round(const bgp::RoutingTable& routes,
-                                net::Block24 block,
-                                std::uint32_t round) const;
+                                net::Block24 block, std::uint32_t round,
+                                ResolveTally* tally = nullptr) const;
+
+  /// Flushes a ResolveTally accumulated via site_in_round to the metric
+  /// counters, leaving `tally` zeroed.
+  static void flush(ResolveTally& tally);
 
   /// Whether the block belongs to the flappy population under `routes`.
   bool is_flappy(const bgp::RoutingTable& routes, net::Block24 block) const;

@@ -56,32 +56,74 @@ std::vector<Delivery> InternetSim::probe(
     const bgp::RoutingTable& routes,
     std::span<const std::uint8_t> packet_bytes, util::SimTime tx_time,
     std::uint32_t round) const {
+  std::vector<DeliveryView> views;
+  std::vector<std::uint8_t> reply;
+  probe_into(routes, packet_bytes, tx_time, round, views, reply);
   std::vector<Delivery> out;
+  out.reserve(views.size());
+  for (const DeliveryView& v : views) {
+    Delivery d;
+    d.site = v.site;
+    d.arrival = v.arrival;
+    d.packet.data = reply;  // copy; deliveries own their bytes
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void InternetSim::flush(DataplaneTally& tally) {
   DataplaneMetrics& dm = DataplaneMetrics::get();
-  dm.probes.add();
+  if (tally.probes) dm.probes.add(tally.probes);
+  if (tally.malformed) dm.malformed.add(tally.malformed);
+  if (tally.unresponsive) dm.unresponsive.add(tally.unresponsive);
+  if (tally.site_lookups) dm.site_lookups.add(tally.site_lookups);
+  if (tally.replies) dm.replies.add(tally.replies);
+  tally = {};
+}
+
+void InternetSim::probe_into(const bgp::RoutingTable& routes,
+                             std::span<const std::uint8_t> packet_bytes,
+                             util::SimTime tx_time, std::uint32_t round,
+                             std::vector<DeliveryView>& out,
+                             std::vector<std::uint8_t>& reply_scratch,
+                             DataplaneTally* tally,
+                             ResolveTally* resolve_tally) const {
+  out.clear();
+  reply_scratch.clear();
+  DataplaneTally local;
+  DataplaneTally& t = tally != nullptr ? *tally : local;
+  // With no caller-owned tally, flush the local one on every exit path so
+  // the striped counters advance exactly as before.
+  struct Flusher {
+    DataplaneTally* local;
+    ~Flusher() {
+      if (local != nullptr) InternetSim::flush(*local);
+    }
+  } flusher{tally != nullptr ? nullptr : &local};
+  ++t.probes;
 
   // Parse at the "host": a real host only answers well-formed echoes.
   const auto ip = net::Ipv4Header::parse(packet_bytes);
   if (!ip || ip->protocol != net::IpProtocol::kIcmp) {
-    dm.malformed.add();
-    return out;
+    ++t.malformed;
+    return;
   }
   if (packet_bytes.size() < ip->total_length) {
-    dm.malformed.add();
-    return out;
+    ++t.malformed;
+    return;
   }
-  const auto icmp = net::IcmpEcho::parse(packet_bytes.subspan(
+  const auto icmp = net::parse_icmp_echo_view(packet_bytes.subspan(
       net::Ipv4Header::kSize, ip->total_length - net::Ipv4Header::kSize));
   if (!icmp || icmp->type != net::IcmpType::kEchoRequest) {
-    dm.malformed.add();
-    return out;
+    ++t.malformed;
+    return;
   }
 
   const net::Block24 block = net::Block24::containing(ip->destination);
   const ReplyBehavior behavior = responsiveness_.behavior(block, round);
   if (!behavior.responds) {
-    dm.unresponsive.add();
-    return out;
+    ++t.unresponsive;
+    return;
   }
 
   // Hosts answer only if probed at an address that is actually alive
@@ -89,8 +131,8 @@ std::vector<Delivery> InternetSim::probe(
   // still find a live secondary host).
   if (!responsiveness_.is_live_host(
           block, static_cast<std::uint8_t>(ip->destination.value() & 0xff))) {
-    dm.unresponsive.add();
-    return out;
+    ++t.unresponsive;
+    return;
   }
 
   // Source address of the reply: usually the probed host; aliased hosts
@@ -115,12 +157,12 @@ std::vector<Delivery> InternetSim::probe(
   }
 
   // Catchment: the site whose collector will receive this reply.
-  dm.site_lookups.add();
-  const anycast::SiteId site = ground_truth_site(routes, block, round);
-  if (site < 0) return out;
+  ++t.site_lookups;
+  const anycast::SiteId site =
+      flips_.site_in_round(routes, block, round, resolve_tally);
+  if (site < 0) return;
 
-  const net::PacketBytes reply =
-      net::build_echo_reply(*ip, *icmp, reply_source);
+  net::build_echo_reply_into(reply_scratch, *ip, *icmp, reply_source);
 
   const std::uint64_t jitter_key = util::hash_combine(
       util::hash_combine(config_.responsiveness.seed, round), 0x9d7);
@@ -130,14 +172,10 @@ std::vector<Delivery> InternetSim::probe(
                util::hash_combine(jitter_key, copy));
     if (behavior.late && copy == 0)
       delay_ms += config_.late_extra_minutes * 60.0 * 1000.0;
-    Delivery d;
-    d.site = site;
-    d.arrival = tx_time + util::SimTime::from_seconds(delay_ms / 1000.0);
-    d.packet = reply;  // copy; deliveries own their bytes
-    out.push_back(std::move(d));
+    out.push_back(DeliveryView{
+        site, tx_time + util::SimTime::from_seconds(delay_ms / 1000.0)});
   }
-  dm.replies.add(out.size());
-  return out;
+  t.replies += out.size();
 }
 
 }  // namespace vp::sim

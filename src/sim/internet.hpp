@@ -46,6 +46,28 @@ struct Delivery {
   net::PacketBytes packet;
 };
 
+/// Non-owning variant for the allocation-free hot path: all deliveries of
+/// one probe attempt are copies of the SAME reply packet (only site and
+/// arrival can differ per copy), so probe_into materializes the bytes once
+/// in a caller-owned scratch buffer and hands out plain (site, arrival)
+/// pairs. Valid until the next probe_into call on the same scratch.
+struct DeliveryView {
+  anycast::SiteId site = anycast::kUnknownSite;
+  util::SimTime arrival;
+};
+
+/// Batched dataplane counters: probe_into accumulates here instead of
+/// touching the striped metric counters per probe; the engine flushes one
+/// tally per tile via InternetSim::flush. Field meanings match the
+/// vp_sim_* counters one-to-one.
+struct DataplaneTally {
+  std::uint64_t probes = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t unresponsive = 0;
+  std::uint64_t site_lookups = 0;
+  std::uint64_t replies = 0;
+};
+
 class InternetSim {
  public:
   InternetSim(const topology::Topology& topo, const InternetConfig& config)
@@ -79,6 +101,24 @@ class InternetSim {
                               std::span<const std::uint8_t> packet_bytes,
                               util::SimTime tx_time,
                               std::uint32_t round) const;
+
+  /// Allocation-free probe: identical decisions and bytes to probe(), but
+  /// deliveries land in `out` as views over `reply_scratch` (cleared and
+  /// refilled here; the reply bytes are built once per attempt instead of
+  /// copied per delivery). With `tally`/`resolve_tally` non-null, metric
+  /// increments accumulate there for the caller to flush per tile;
+  /// otherwise the striped counters are hit directly as in probe().
+  void probe_into(const bgp::RoutingTable& routes,
+                  std::span<const std::uint8_t> packet_bytes,
+                  util::SimTime tx_time, std::uint32_t round,
+                  std::vector<DeliveryView>& out,
+                  std::vector<std::uint8_t>& reply_scratch,
+                  DataplaneTally* tally = nullptr,
+                  ResolveTally* resolve_tally = nullptr) const;
+
+  /// Flushes a DataplaneTally (and nothing else) to the vp_sim_* striped
+  /// counters, zeroing it. ResolveTally flushes via FlipModel::flush.
+  static void flush(DataplaneTally& tally);
 
  private:
   double rtt_ms(net::Block24 block, anycast::SiteId site,

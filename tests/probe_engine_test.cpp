@@ -2,12 +2,20 @@
 // result is bit-identical no matter how many worker shards probe it.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "analysis/scenario.hpp"
 #include "core/campaign.hpp"
 #include "core/verfploeter.hpp"
+#include "obs/metrics.hpp"
+#include "sim/fault_injector.hpp"
+#include "util/round_arena.hpp"
 
 namespace vp::core {
 namespace {
@@ -153,6 +161,100 @@ class RecordingObserver : public RoundObserver {
   std::uint64_t kept = 0;
   std::vector<std::uint64_t> collected;
 };
+
+TEST_F(ProbeEngineTest, TileSizeNeverChangesTheResult) {
+  // The block-range tiling is a pure walk-order optimization: every
+  // packet field, timestamp, and fault draw is a function of the probe's
+  // global index, so ANY tile size — one entry per tile, tiny tiles,
+  // the LLC-sized default, or one tile per shard — must produce the
+  // bit-identical round, clean and faulted, at any thread count.
+  const sim::FaultInjector faults{sim::FaultPlan::from_seed(9001)};
+  for (const bool faulted : {false, true}) {
+    RoundSpec spec;
+    spec.probe.measurement_id = faulted ? 4650 : 4600;
+    spec.round = 2;
+    spec.start = util::SimTime::from_minutes(30);
+    if (faulted) spec.faults = &faults;
+
+    spec.threads = 1;
+    spec.tile_entries = 0;  // auto
+    const RoundResult baseline = scenario().verfploeter().run(routes(), spec);
+    EXPECT_GT(baseline.map.mapped_blocks(), 0u);
+
+    for (const unsigned threads : {1u, 4u, 8u}) {
+      for (const std::uint32_t tile :
+           {std::uint32_t{1}, std::uint32_t{4096}, std::uint32_t{65536},
+            std::numeric_limits<std::uint32_t>::max()}) {
+        spec.threads = threads;
+        spec.tile_entries = tile;
+        const RoundResult tiled = scenario().verfploeter().run(routes(), spec);
+        char label[64];
+        std::snprintf(label, sizeof label, "%s threads=%u tile=%u",
+                      faulted ? "faulted" : "clean", threads, tile);
+        expect_identical(baseline, tiled, label);
+      }
+    }
+  }
+}
+
+TEST_F(ProbeEngineTest, SteadyStateRoundsAreAllocationFreeInTheShardLoop) {
+  // The cross-round arena exists so round N+1 probes into round N's
+  // buffers. After a warm-up round has sized everything, later rounds of
+  // a journaled campaign must not grow a single hot-loop vector:
+  // vp_engine_hot_allocs_total (shard-loop buffer growths) stays flat
+  // while vp_engine_arena_reuses_total keeps climbing.
+  auto& registry = obs::metrics();
+  obs::Counter& hot = registry.counter("vp_engine_hot_allocs_total");
+  obs::Counter& reuses = registry.counter("vp_engine_arena_reuses_total");
+
+  /// Samples the allocation counters at every round completion so the
+  /// per-round deltas of a sequential campaign can be asserted after
+  /// run() returns.
+  class AllocSampler : public RoundObserver {
+   public:
+    AllocSampler(const obs::Counter& hot, const obs::Counter& reuses)
+        : hot_(&hot), reuses_(&reuses) {}
+    void on_round_complete(const RoundSpec&, const RoundResult&) override {
+      hot_after.push_back(hot_->value());
+      reuses_after.push_back(reuses_->value());
+    }
+    std::vector<std::uint64_t> hot_after;
+    std::vector<std::uint64_t> reuses_after;
+
+   private:
+    const obs::Counter* hot_;
+    const obs::Counter* reuses_;
+  };
+
+  const std::string journal_path =
+      "/tmp/vp_probe_engine_alloc_" +
+      std::to_string(static_cast<long>(::getpid())) + ".bin";
+  std::remove(journal_path.c_str());
+
+  ProbeConfig probe;
+  probe.measurement_id = 4700;
+  AllocSampler sampler{hot, reuses};
+  const auto report = Campaign{scenario().verfploeter(), routes()}
+                          .probe(probe)
+                          .rounds(5)
+                          .interval(util::SimTime::from_minutes(15))
+                          .threads(2)
+                          .journal(journal_path)
+                          .observe(sampler)
+                          .run_reported();
+  std::remove(journal_path.c_str());
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(sampler.hot_after.size(), 5u);
+
+  // Round 1 starts cold and rounds 1-2 may still ratchet reply-buffer
+  // capacities (reply counts vary slightly per round); from round 3 on
+  // the arena is steady state and growth must be exactly zero.
+  for (std::size_t r = 2; r < sampler.hot_after.size(); ++r)
+    EXPECT_EQ(sampler.hot_after[r], sampler.hot_after[r - 1])
+        << "round " << r + 1 << " grew a shard-loop buffer";
+  // Every round after the first checked out a warm arena.
+  EXPECT_GE(sampler.reuses_after.back() - sampler.reuses_after.front(), 4u);
+}
 
 TEST_F(ProbeEngineTest, ObserverSeesConsistentCounts) {
   RoundSpec spec;
